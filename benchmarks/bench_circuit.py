@@ -1,0 +1,88 @@
+"""Circuit-level benchmarks: R1CS synthesis cost and constraint counts.
+
+Supplementary to E1: the RLN circuit's structure (what the 0.5 s of
+Groth16 proving actually pays for) — per-gadget constraint counts and
+pure-Python synthesis/witness-check throughput.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.field import Fr
+from repro.crypto.hashing import set_hash_backend
+from repro.crypto.keys import MembershipKeyPair
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.zksnark.gadgets import poseidon_hash_gadget
+from repro.crypto.zksnark.r1cs import ConstraintSystem
+from repro.crypto.zksnark.timing import (
+    CONSTRAINTS_PER_MERKLE_LEVEL,
+    RLN_BASE_CONSTRAINTS,
+    rln_constraint_count,
+)
+from repro.rln.circuit import RlnStatement
+
+
+@pytest.fixture
+def poseidon_statement(poseidon_backend_module):
+    rng = random.Random(44)
+    tree = MerkleTree(8)
+    pair = MembershipKeyPair.generate(rng)
+    index = tree.insert(pair.commitment.element)
+    return RlnStatement.build(
+        secret=pair.secret.element,
+        ext_nullifier=Fr(3),
+        x=Fr(777),
+        merkle_proof=tree.proof(index),
+    )
+
+
+@pytest.fixture(scope="module")
+def poseidon_backend_module():
+    set_hash_backend("poseidon")
+    yield
+    set_hash_backend("blake2b")
+
+
+def test_poseidon_gadget_synthesis(benchmark, poseidon_backend_module):
+    def synthesize():
+        cs = ConstraintSystem()
+        a = cs.alloc("a", Fr(1))
+        b = cs.alloc("b", Fr(2))
+        poseidon_hash_gadget(cs, [a, b])
+        return cs
+
+    cs = benchmark(synthesize)
+    assert cs.num_constraints == 243
+
+
+def test_rln_circuit_synthesis_depth8(benchmark, poseidon_statement):
+    cs = benchmark(poseidon_statement.synthesize)
+    assert cs.num_constraints == rln_constraint_count(8)
+
+
+def test_rln_witness_check_depth8(benchmark, poseidon_statement):
+    cs = poseidon_statement.synthesize()
+    assert benchmark(cs.is_satisfied)
+
+
+def test_regenerate_constraint_count_table(record_table):
+    headers = ("component", "constraints")
+    rows = [
+        ("Poseidon t=2 (pk, phi)", 216),
+        ("Poseidon t=3 (a1, tree node)", 243),
+        ("Merkle level (bool + swap + hash)", CONSTRAINTS_PER_MERKLE_LEVEL),
+        ("RLN circuit base (pk + a1 + phi + share)", RLN_BASE_CONSTRAINTS),
+        ("RLN circuit @ depth 20", rln_constraint_count(20)),
+        ("RLN circuit @ depth 32", rln_constraint_count(32)),
+    ]
+    record_table(
+        "circuit_constraints",
+        "RLN circuit constraint counts (genuine R1CS gadgets)",
+        headers,
+        rows,
+        note="Groth16 proving cost is linear in the constraint count.",
+    )
+    assert rln_constraint_count(20) == (
+        RLN_BASE_CONSTRAINTS + 20 * CONSTRAINTS_PER_MERKLE_LEVEL
+    )

@@ -1,0 +1,82 @@
+"""E5 — registration/deletion gas: registry (paper) vs on-chain tree
+(original RLN). Paper §III: constant vs logarithmic complexity,
+"optimizing gas consumption by an order of magnitude"."""
+
+import random
+
+import pytest
+
+from repro.analysis import gas_cost_experiment, gas_vs_depth_experiment
+from repro.crypto.keys import MembershipKeyPair
+from repro.eth.chain import Blockchain
+from repro.eth.contracts import MembershipRegistry, OnChainTreeContract
+
+STAKE = 10**18
+
+
+def _bench_registration(benchmark, contract):
+    chain = Blockchain()
+    chain.deploy(contract)
+    rng = random.Random(7)
+    counter = iter(range(10**9))
+
+    def register_once():
+        i = next(counter)
+        account = f"user-{i}"
+        chain.create_account(account, balance=2 * STAKE)
+        pair = MembershipKeyPair.generate(rng)
+        receipt = chain.call_now(
+            account,
+            contract.address,
+            "register",
+            int(pair.commitment.element),
+            value=STAKE,
+        )
+        assert receipt.success
+        return receipt.gas_used
+
+    return benchmark(register_once)
+
+
+def test_registry_registration(benchmark):
+    gas = _bench_registration(
+        benchmark, MembershipRegistry("m", stake_wei=STAKE)
+    )
+    assert gas < 100_000
+
+
+def test_onchain_tree_registration(benchmark):
+    gas = _bench_registration(
+        benchmark, OnChainTreeContract("m", depth=20, stake_wei=STAKE)
+    )
+    assert gas > 1_000_000
+
+
+def test_regenerate_e5_table(record_table):
+    headers, rows = gas_cost_experiment(member_counts=(0, 16, 64, 256))
+    record_table(
+        "e5_gas_costs",
+        "E5: registration/deletion gas, registry vs on-chain tree",
+        headers,
+        rows,
+        note="ratio = tree registration gas / registry registration gas.",
+    )
+    # Order-of-magnitude claim at every group size.
+    assert all(row[5] >= 10 for row in rows)
+    # Registry cost constant once "count" is warm.
+    registry_costs = {row[1] for row in rows[1:]}
+    assert len(registry_costs) == 1
+
+
+def test_regenerate_e5b_table(record_table):
+    headers, rows = gas_vs_depth_experiment(depths=(10, 16, 20, 26, 32))
+    record_table(
+        "e5b_gas_vs_depth",
+        "E5b: on-chain tree gas grows with depth; registry does not",
+        headers,
+        rows,
+    )
+    tree_costs = [row[2] for row in rows]
+    assert tree_costs == sorted(tree_costs)
+    registry_costs = {row[1] for row in rows}
+    assert len(registry_costs) == 1

@@ -1,0 +1,77 @@
+"""E9 — nullifier-map memory is bounded by the Thr window (paper §III:
+"the nulliﬁer map sufﬁces to hold messages that belong to the last Thr
+epochs")."""
+
+import random
+
+import pytest
+
+from repro.analysis import nullifier_map_experiment
+from repro.core.nullifier_map import NullifierCheck, NullifierMap
+from repro.crypto.keys import MembershipKeyPair
+from repro.crypto.merkle import MerkleTree
+from repro.rln.prover import RlnProver, rln_keys
+
+
+@pytest.fixture(scope="module")
+def signal_stream():
+    """1000 pre-built signals from 50 members across 20 epochs."""
+    rng = random.Random(12)
+    pk, _vk = rln_keys(seed=b"bench-e9")
+    tree = MerkleTree(10)
+    provers = []
+    for _ in range(50):
+        pair = MembershipKeyPair.generate(rng)
+        index = tree.insert(pair.commitment.element)
+        provers.append((RlnProver(keypair=pair, proving_key=pk), index))
+    signals = []
+    for epoch in range(20):
+        for prover, index in provers:
+            signals.append(
+                prover.create_signal(
+                    f"e{epoch}".encode(), epoch, tree.proof(index)
+                )
+            )
+    return signals
+
+
+def test_observe_throughput(benchmark, signal_stream):
+    state = {"map": NullifierMap(thr=2), "i": 0}
+
+    def observe_one():
+        signal = signal_stream[state["i"] % len(signal_stream)]
+        state["i"] += 1
+        if state["i"] % len(signal_stream) == 0:
+            state["map"] = NullifierMap(thr=2)  # reset between passes
+        return state["map"].observe(signal)
+
+    check, _prior = benchmark(observe_one)
+    assert check in (NullifierCheck.NEW, NullifierCheck.DUPLICATE)
+
+
+def test_prune_cost(benchmark, signal_stream):
+    nmap = NullifierMap(thr=2)
+    for signal in signal_stream:
+        nmap.observe(signal)
+    benchmark(nmap.prune, 19)
+
+
+def test_regenerate_e9_table(record_table):
+    headers, rows = nullifier_map_experiment(
+        epochs=40, senders_per_epoch=30, thr=2
+    )
+    record_table(
+        "e9_nullifier_map",
+        "E9: nullifier-map memory bounded by Thr window (thr=2)",
+        headers,
+        rows,
+        note="without pruning, the map grows linearly forever.",
+    )
+    # Steady state: pruned map holds exactly (thr+1) epochs of entries.
+    steady = [row[1] for row in rows[1:]]
+    assert len(set(steady)) == 1
+    assert steady[0] == 3 * 30
+    # The unpruned map keeps growing.
+    unbounded = [row[3] for row in rows]
+    assert unbounded == sorted(unbounded)
+    assert unbounded[-1] > 10 * steady[0]

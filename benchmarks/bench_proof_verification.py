@@ -1,0 +1,49 @@
+"""E2 — proof verification constant in group size (paper §IV: ≈30 ms)."""
+
+import random
+
+import pytest
+
+from repro.analysis import proof_verification_experiment
+from repro.crypto.keys import MembershipKeyPair
+from repro.crypto.merkle import MerkleTree
+from repro.rln.prover import RlnProver, rln_keys
+from repro.rln.verifier import RlnVerifier
+
+
+@pytest.fixture(scope="module", params=[10, 20, 32])
+def verification_setup(request):
+    depth = request.param
+    rng = random.Random(2)
+    pk, vk = rln_keys(seed=b"bench-e2")
+    tree = MerkleTree(depth)
+    pair = MembershipKeyPair.generate(rng)
+    index = tree.insert(pair.commitment.element)
+    prover = RlnProver(keypair=pair, proving_key=pk)
+    signal = prover.create_signal(b"bench", 1, tree.proof(index))
+    verifier = RlnVerifier(
+        verifying_key=vk, root_predicate=lambda r, t=tree: r == t.root
+    )
+    return verifier, signal, depth
+
+
+def test_signal_verification(benchmark, verification_setup):
+    """One full signal check (proof + root + share binding) per depth."""
+    verifier, signal, depth = verification_setup
+    assert benchmark(verifier.is_valid, signal)
+
+
+def test_regenerate_e2_table(record_table):
+    headers, rows = proof_verification_experiment(depths=(10, 16, 20, 26, 32))
+    record_table(
+        "e2_proof_verification",
+        "E2: proof verification, constant in group size (paper: ~30 ms)",
+        headers,
+        rows,
+        note="verification cost must not grow with the membership size.",
+    )
+    measured = [row[3] for row in rows]
+    # Constancy: no growth trend beyond 3x noise between extremes.
+    assert max(measured) < 3 * min(measured) + 1e-4
+    modeled = {row[2] for row in rows}
+    assert modeled == {0.03}

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_*`` module regenerates one experiment of DESIGN.md's
+index. Tables are printed (visible with ``pytest -s``) and written to
+``benchmarks/results/*.txt`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Write (and echo) one experiment table."""
+
+    def write(name: str, title: str, headers, rows, note: str = "") -> str:
+        from repro.analysis import format_experiment
+
+        text = format_experiment(title, headers, rows, note)
+        (results_dir / f"{name}.txt").write_text(text)
+        print("\n" + text)
+        return text
+
+    return write

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Slashing economics: what an attack costs, who gets paid.
+
+The paper's incentive design (Sections I/IV): registration requires a
+stake (Sybil mitigation); each detected double-signal burns part of the
+spammer's stake and rewards the reporter. This demo runs several
+attacker identities through the network and prints the flow of funds,
+plus the gas-cost comparison between the paper's registry contract and
+the original on-chain-tree design.
+
+Run:  python examples/slashing_economics.py
+"""
+
+from repro.analysis import (
+    economics_experiment,
+    format_experiment,
+    gas_cost_experiment,
+    gas_vs_depth_experiment,
+)
+
+
+def main() -> None:
+    headers, rows = economics_experiment(spammer_count=3, peer_count=20)
+    print(
+        format_experiment(
+            "Flow of funds after 3 attacker identities double-signal",
+            headers,
+            rows,
+            note=(
+                "Every attacking identity loses its full stake: half burnt,\n"
+                "half to the first reporter — the paper's cryptographically\n"
+                "guaranteed economic incentive."
+            ),
+        )
+    )
+
+    headers, rows = gas_cost_experiment(member_counts=(0, 16, 64))
+    print(
+        format_experiment(
+            "Gas: registry (paper design) vs on-chain tree (original RLN)",
+            headers,
+            rows,
+            note="Registry cost is constant in the group size.",
+        )
+    )
+
+    headers, rows = gas_vs_depth_experiment(depths=(10, 20, 32))
+    print(
+        format_experiment(
+            "Gas vs tree depth",
+            headers,
+            rows,
+            note=(
+                "The on-chain tree pays one circuit-hash + storage write per\n"
+                "level; the registry never touches a tree — the paper's\n"
+                "'order of magnitude' gas optimization."
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

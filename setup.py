@@ -1,0 +1,7 @@
+"""Setuptools shim: enables legacy editable installs in offline
+environments that lack the `wheel` package (pip falls back to
+`setup.py develop`, which does not build a wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""repro — a reproduction of Waku-RLN-Relay (ICDCS 2022).
+
+Privacy-preserving, spam-protected, gossip-based routing: an anonymous
+GossipSub overlay where every member may publish one message per epoch,
+enforced by Rate-Limiting Nullifiers (RLN) with zkSNARK membership
+proofs and on-chain economic slashing.
+
+Public entry points:
+
+* :mod:`repro.crypto` — field, Poseidon, Merkle trees, Shamir, zkSNARKs;
+* :mod:`repro.rln` — the RLN framework (signals, proofs, slashing);
+* :mod:`repro.eth` — simulated blockchain and membership contracts;
+* :mod:`repro.gossipsub` / :mod:`repro.waku` — the routing substrate;
+* :mod:`repro.core` — the integrated Waku-RLN-Relay peer and network;
+* :mod:`repro.baselines` — PoW and peer-scoring comparison systems;
+* :mod:`repro.analysis` — experiment harness used by the benchmarks.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

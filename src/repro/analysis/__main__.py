@@ -1,0 +1,98 @@
+"""Run every experiment and print its table.
+
+Usage::
+
+    python -m repro.analysis            # all experiments
+    python -m repro.analysis e1 e5 e7   # a subset
+
+The output of a full run is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import (
+    economics_experiment,
+    epoch_length_ablation,
+    flood_publish_ablation,
+    mesh_degree_ablation,
+    network_scaling_experiment,
+    root_window_ablation,
+    format_experiment,
+    gas_cost_experiment,
+    gas_vs_depth_experiment,
+    key_material_experiment,
+    merkle_storage_experiment,
+    nullifier_map_experiment,
+    paper_reference_row,
+    proof_generation_experiment,
+    proof_verification_experiment,
+    propagation_experiment,
+    routing_overhead_experiment,
+    spam_protection_experiment,
+)
+
+EXPERIMENTS = {
+    "e1": (
+        "E1: proof generation vs group size (paper: ~0.5 s at 2^32)",
+        proof_generation_experiment,
+    ),
+    "e2": (
+        "E2: proof verification, constant in group size (paper: ~30 ms)",
+        proof_verification_experiment,
+    ),
+    "e3": ("E3: key material sizes (paper: 32 B keys)", key_material_experiment),
+    "e4": (
+        "E4: membership tree storage (paper: 67 MB vs 0.128 KB at depth 20)",
+        merkle_storage_experiment,
+    ),
+    "e5": (
+        "E5: registration/deletion gas, registry vs on-chain tree",
+        gas_cost_experiment,
+    ),
+    "e5b": (
+        "E5b: on-chain tree gas grows with depth; registry does not",
+        gas_vs_depth_experiment,
+    ),
+    "e6": (
+        "E6: propagation latency, off-chain gossip vs on-chain mining",
+        propagation_experiment,
+    ),
+    "e7": (
+        "E7: spam reach under attack, vs PoW / peer-scoring / plain",
+        spam_protection_experiment,
+    ),
+    "e8": (
+        "E8: per-message computational overhead by device class",
+        routing_overhead_experiment,
+    ),
+    "e9": (
+        "E9: nullifier-map memory bounded by Thr window",
+        nullifier_map_experiment,
+    ),
+    "e10": ("E10: slashing economics", economics_experiment),
+    "ref": ("Paper reference values (Section IV)", paper_reference_row),
+    "a1": ("Ablation: epoch length T", epoch_length_ablation),
+    "a2": ("Ablation: root window vs staleness", root_window_ablation),
+    "a3": ("Ablation: flood-publish vs mesh-only", flood_publish_ablation),
+    "a4": ("Ablation: mesh degree D", mesh_degree_ablation),
+    "scale": ("Scaling: propagation vs network size", network_scaling_experiment),
+}
+
+
+def main(argv) -> int:
+    selected = [a.lower() for a in argv] or list(EXPERIMENTS)
+    unknown = [s for s in selected if s not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; choose from {list(EXPERIMENTS)}")
+        return 1
+    for key in selected:
+        title, runner = EXPERIMENTS[key]
+        headers, rows = runner()
+        print(format_experiment(title, headers, rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,210 @@
+"""Experiments E1–E4: zkSNARK timing, key material, tree storage.
+
+Each function returns ``(headers, rows)`` so benchmarks can print the
+same table the paper's Section IV summarises. Columns labelled
+*modeled* come from the calibrated :class:`PerformanceModel` (the
+paper's iPhone 8 numbers); columns labelled *measured* are wall-clock
+measurements of this Python implementation.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import List, Sequence, Tuple
+
+from ..constants import (
+    KEY_SIZE_BYTES,
+    PAPER_FULL_TREE_STORAGE_BYTES,
+    PAPER_OPTIMIZED_TREE_STORAGE_BYTES,
+    PAPER_PROOF_GENERATION_SECONDS,
+    PAPER_PROOF_VERIFICATION_SECONDS,
+    PROOF_SIZE_BYTES,
+)
+from ..crypto.field import Fr
+from ..crypto.hashing import set_hash_backend
+from ..crypto.keys import MembershipKeyPair
+from ..crypto.merkle import MerkleTree
+from ..crypto.merkle_optimized import FrontierMerkleTree
+from ..crypto.zksnark import groth16
+from ..crypto.zksnark.timing import PerformanceModel, rln_constraint_count
+from ..rln.circuit import RlnStatement
+from ..rln.prover import RlnProver, rln_keys
+from ..rln.verifier import RlnVerifier
+
+Headers = Sequence[str]
+Rows = List[Sequence]
+
+
+def _member_with_tree(depth: int, seed: int = 1):
+    rng = random.Random(seed)
+    tree = MerkleTree(depth)
+    pair = MembershipKeyPair.generate(rng)
+    index = tree.insert(pair.commitment.element)
+    # Populate a handful of other members so paths are non-trivial.
+    for _ in range(min(30, tree.capacity - 1)):
+        tree.insert(MembershipKeyPair.generate(rng).commitment.element)
+    return pair, tree, index
+
+
+def proof_generation_experiment(
+    depths: Sequence[int] = (10, 16, 20, 26, 32),
+    model: PerformanceModel = PerformanceModel(),
+    measure_r1cs: bool = True,
+) -> Tuple[Headers, Rows]:
+    """E1 — proof generation vs tree depth (paper: ~0.5 s at depth 32)."""
+    headers = (
+        "depth",
+        "group size",
+        "constraints",
+        "modeled prove (s)",
+        "measured native (s)",
+        "measured r1cs (s)",
+    )
+    rows: Rows = []
+    pk, _vk = rln_keys(seed=b"e1")
+    for depth in depths:
+        pair, tree, index = _member_with_tree(depth)
+        prover = RlnProver(keypair=pair, proving_key=pk)
+        start = time.perf_counter()
+        prover.create_signal(b"bench", 1, tree.proof(index))
+        native_s = time.perf_counter() - start
+
+        r1cs_s = float("nan")
+        if measure_r1cs:
+            set_hash_backend("poseidon")
+            try:
+                p_pair, p_tree, p_index = _member_with_tree(depth)
+                statement = RlnStatement.build(
+                    secret=p_pair.secret.element,
+                    ext_nullifier=Fr(1),
+                    x=Fr(12345),
+                    merkle_proof=p_tree.proof(p_index),
+                )
+                start = time.perf_counter()
+                groth16.prove(pk, statement, mode="r1cs")
+                r1cs_s = time.perf_counter() - start
+            finally:
+                set_hash_backend("blake2b")
+        rows.append(
+            (
+                depth,
+                f"2^{depth}",
+                rln_constraint_count(depth),
+                model.prove_seconds(depth),
+                native_s,
+                r1cs_s,
+            )
+        )
+    return headers, rows
+
+
+def proof_verification_experiment(
+    depths: Sequence[int] = (10, 16, 20, 26, 32),
+    model: PerformanceModel = PerformanceModel(),
+    repetitions: int = 200,
+) -> Tuple[Headers, Rows]:
+    """E2 — verification is constant in group size (paper: ~30 ms)."""
+    headers = (
+        "depth",
+        "group size",
+        "modeled verify (s)",
+        "measured verify (s)",
+    )
+    rows: Rows = []
+    pk, vk = rln_keys(seed=b"e2")
+    for depth in depths:
+        pair, tree, index = _member_with_tree(depth)
+        prover = RlnProver(keypair=pair, proving_key=pk)
+        signal = prover.create_signal(b"bench", 1, tree.proof(index))
+        verifier = RlnVerifier(
+            verifying_key=vk, root_predicate=lambda root, t=tree: root == t.root
+        )
+        start = time.perf_counter()
+        for _ in range(repetitions):
+            assert verifier.is_valid(signal)
+        measured = (time.perf_counter() - start) / repetitions
+        rows.append(
+            (depth, f"2^{depth}", model.verify_seconds_for(depth), measured)
+        )
+    return headers, rows
+
+
+def key_material_experiment() -> Tuple[Headers, Rows]:
+    """E3 — persisted key/proof sizes (paper: 32 B keys, 3.89 MB pk)."""
+    headers = ("artifact", "size (bytes)", "paper value (bytes)")
+    rng = random.Random(5)
+    pair = MembershipKeyPair.generate(rng)
+    pk, _vk = rln_keys(
+        num_constraints=rln_constraint_count(20), seed=b"e3"
+    )
+    tree = MerkleTree(8)
+    index = tree.insert(pair.commitment.element)
+    prover = RlnProver(keypair=pair, proving_key=pk)
+    signal = prover.create_signal(b"size probe", 1, tree.proof(index))
+    rows: Rows = [
+        ("identity secret key", len(pair.secret.to_bytes()), KEY_SIZE_BYTES),
+        (
+            "identity public key",
+            len(pair.commitment.to_bytes()),
+            KEY_SIZE_BYTES,
+        ),
+        ("zkSNARK proof", len(signal.proof.to_bytes()), PROOF_SIZE_BYTES),
+        ("prover key (modeled, depth 20)", pk.size_bytes, 4_078_960),
+        (
+            "per-message RLN overhead",
+            signal.overhead_bytes,
+            8 + 5 * 32 + 128,
+        ),
+    ]
+    return headers, rows
+
+
+def merkle_storage_experiment(
+    depths: Sequence[int] = (10, 16, 20, 24),
+    populated_members: int = 512,
+) -> Tuple[Headers, Rows]:
+    """E4 — full vs frontier tree storage (paper: 67 MB vs 0.128 KB)."""
+    headers = (
+        "depth",
+        "full tree (bytes)",
+        "frontier (bytes)",
+        "ratio",
+        "paper full",
+        "paper optimized",
+    )
+    rows: Rows = []
+    for depth in depths:
+        full = MerkleTree(depth)
+        frontier = FrontierMerkleTree(depth)
+        members = min(populated_members, full.capacity)
+        for i in range(members):
+            leaf = Fr(i + 1)
+            full.insert(leaf)
+            frontier.insert(leaf)
+        full_bytes = full.full_storage_bytes()
+        frontier_bytes = frontier.storage_bytes()
+        rows.append(
+            (
+                depth,
+                full_bytes,
+                frontier_bytes,
+                full_bytes / frontier_bytes,
+                PAPER_FULL_TREE_STORAGE_BYTES if depth == 20 else "-",
+                PAPER_OPTIMIZED_TREE_STORAGE_BYTES if depth == 20 else "-",
+            )
+        )
+    return headers, rows
+
+
+def paper_reference_row() -> Tuple[Headers, Rows]:
+    """The paper's raw Section IV numbers, for side-by-side reporting."""
+    headers = ("quantity", "paper value")
+    rows: Rows = [
+        ("proof generation, 2^32 group", f"{PAPER_PROOF_GENERATION_SECONDS} s"),
+        ("proof verification", f"{PAPER_PROOF_VERIFICATION_SECONDS} s"),
+        ("key size", f"{KEY_SIZE_BYTES} B"),
+        ("depth-20 tree, naive", f"{PAPER_FULL_TREE_STORAGE_BYTES} B"),
+        ("depth-20 tree, optimized", f"{PAPER_OPTIMIZED_TREE_STORAGE_BYTES} B"),
+    ]
+    return headers, rows

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    if isinstance(value, int) and abs(value) >= 10_000:
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(p.ljust(w) for p, w in zip(parts, widths)).rstrip()
+
+    separator = "  ".join("-" * w for w in widths)
+    out: List[str] = [line(headers), separator]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_experiment(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    note: str = "",
+) -> str:
+    """A titled experiment block, ready for the terminal or a report."""
+    parts = [f"== {title} ==", format_table(headers, rows)]
+    if note:
+        parts.append(note)
+    return "\n".join(parts) + "\n"
+
+
+def human_bytes(size: float) -> str:
+    """1234567 -> '1.23 MB' (decimal units, as the paper uses)."""
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(size) < 1000:
+            return f"{size:.3g} {unit}"
+        size /= 1000
+    return f"{size:.3g} TB"

@@ -1,0 +1,90 @@
+"""Network-size scaling: propagation latency and coverage vs peers.
+
+Gossip propagation grows with the overlay diameter — O(log N) hops for
+random-regular meshes — so doubling the network should cost roughly one
+extra hop of latency, not double. This sweep backs the paper's
+implicit scalability story (a routing protocol for open, large p2p
+networks).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from ..core.config import ProtocolConfig
+from ..core.protocol import WakuRlnRelayNetwork
+from ..net.topology import diameter
+from ..sim.metrics import Histogram
+
+Headers = Sequence[str]
+Rows = List[Sequence]
+
+
+def network_scaling_experiment(
+    peer_counts: Sequence[int] = (10, 20, 40, 80),
+    messages: int = 8,
+    seed: int = 41,
+) -> Tuple[Headers, Rows]:
+    """Latency/coverage as the network grows (degree-6 overlay)."""
+    headers = (
+        "peers",
+        "overlay diameter",
+        "mean latency (s)",
+        "p99 latency (s)",
+        "coverage",
+        "duplicates/msg",
+    )
+    rows: Rows = []
+    for count in peer_counts:
+        config = ProtocolConfig()
+        net = WakuRlnRelayNetwork(
+            peer_count=count, seed=seed, config=config, degree=6
+        )
+        net.register_all()
+        net.start()
+        net.run(5.0)
+        latencies = Histogram()
+        sent_at = {}
+        receipts = {}
+
+        def on_delivery(payload: bytes, _mid: str) -> None:
+            if payload in sent_at:
+                latencies.observe(net.simulator.now - sent_at[payload])
+                receipts[payload] = receipts.get(payload, 0) + 1
+
+        for peer in net.peers:
+            peer.on_payload(on_delivery)
+        rng = random.Random(seed)
+        epoch = config.epoch_length
+        for m in range(messages):
+            publisher = net.peers[rng.randrange(count)]
+            payload = f"scale-{m}".encode()
+
+            def publish(_sim, p=publisher, data=payload):
+                sent_at[data] = net.simulator.now
+                try:
+                    p.publish(data)
+                except Exception:
+                    pass
+
+            net.simulator.schedule(m * epoch + 0.4, publish)
+        net.run(messages * epoch + 30.0)
+        delivered = sum(receipts.values())
+        # Every peer including the publisher (local delivery) counts.
+        expected = count * len(sent_at)
+        coverage = delivered / expected if expected else 0.0
+        duplicates = net.metrics.counter("gossipsub.duplicates") / max(
+            1, len(sent_at)
+        )
+        rows.append(
+            (
+                count,
+                diameter(net.network),
+                latencies.mean,
+                latencies.percentile(99),
+                f"{coverage:.1%}",
+                duplicates,
+            )
+        )
+    return headers, rows

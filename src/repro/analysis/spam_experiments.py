@@ -1,0 +1,280 @@
+"""Experiments E7–E9: spam protection vs baselines, routing overhead,
+nullifier-map behaviour."""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import List, Sequence, Tuple
+
+from ..attacks.spam import FloodSpammer, PowSpammer, RlnSpammer, SybilArmy
+from ..baselines.pow import (
+    ATTACKER_RIG,
+    DESKTOP,
+    IOT_DEVICE,
+    PHONE,
+    mine_envelope,
+    verify_envelope,
+)
+from ..baselines.relay_baselines import (
+    BaselineNetwork,
+    PowRelayNetwork,
+    scoring_network,
+)
+from ..core.config import ProtocolConfig
+from ..core.nullifier_map import NullifierMap
+from ..core.protocol import WakuRlnRelayNetwork
+from ..crypto.keys import MembershipKeyPair
+from ..crypto.merkle import MerkleTree
+from ..rln.prover import RlnProver, rln_keys
+
+Headers = Sequence[str]
+Rows = List[Sequence]
+
+SPAM = b"SPAM"
+
+
+def _spam_stats(deliveries, exclude_ids) -> Tuple[float, int]:
+    """(mean spam deliveries per honest peer, total spam deliveries)."""
+    honest = {
+        nid: msgs for nid, msgs in deliveries.items() if nid not in exclude_ids
+    }
+    # PoW payloads carry envelope framing before the marker, so match
+    # containment rather than prefix.
+    counts = [
+        sum(1 for m in msgs if SPAM in m) for msgs in honest.values()
+    ]
+    total = sum(counts)
+    return (total / len(counts) if counts else 0.0), total
+
+
+def spam_protection_experiment(
+    peer_count: int = 40,
+    attack_epochs: int = 5,
+    burst: int = 5,
+    seed: int = 23,
+) -> Tuple[Headers, Rows]:
+    """E7 — the same flooding adversary against all four systems.
+
+    Reports how much spam honest peers actually received, and whether
+    the system removed the attacker globally.
+    """
+    rows: Rows = []
+    epoch_len = ProtocolConfig().epoch_length
+    duration = attack_epochs * epoch_len + 30.0
+
+    # --- Waku-RLN-Relay -----------------------------------------------------
+    net = WakuRlnRelayNetwork(peer_count=peer_count, seed=seed)
+    net.register_all()
+    deliveries = net.collect_deliveries()
+    net.start()
+    net.run(2.0)
+    spammer = RlnSpammer(net.peer(0), burst=burst)
+    spammer.run(net, attack_epochs)
+    net.run(duration)
+    mean_spam, total_spam = _spam_stats(deliveries, {net.peer(0).node_id})
+    rows.append(
+        (
+            "Waku-RLN-Relay",
+            spammer.sent,
+            total_spam,
+            mean_spam,
+            "yes (slashed + stake lost)"
+            if not net.peer(0).is_registered
+            else "no",
+        )
+    )
+
+    # --- unprotected relay ----------------------------------------------------
+    plain = BaselineNetwork(peer_count=peer_count, seed=seed)
+    plain_deliveries = plain.collect_deliveries()
+    plain.start()
+    plain.run(2.0)
+    flooder = FloodSpammer(
+        plain, "peer-0", rate_per_second=burst / epoch_len
+    )
+    flooder.run(duration - 30.0)
+    plain.run(duration)
+    mean_spam, total_spam = _spam_stats(plain_deliveries, {"peer-0"})
+    rows.append(
+        ("plain relay (no protection)", flooder.sent, total_spam, mean_spam, "no")
+    )
+
+    # --- peer-scoring baseline ---------------------------------------------------
+    # Botnet variant: every Sybil has its own IP (the paper's
+    # "inexpensive attack where millions of bots can be deployed").
+    for shared_ip, label, verdict in (
+        (None, "peer scoring + Sybil botnet", "no (bots are free to rejoin)"),
+        (
+            "203.0.113.7",
+            "peer scoring + single-IP Sybils",
+            "no (graylisted, but free to re-IP)",
+        ),
+    ):
+        scored = scoring_network(peer_count=peer_count, seed=seed)
+        scored_deliveries = scored.collect_deliveries()
+        scored.start()
+        scored.run(2.0)
+        army = SybilArmy(
+            scored,
+            bot_count=8,
+            rate_per_bot=burst / epoch_len,
+            shared_ip=shared_ip,
+        )
+        army.deploy()
+        army.run(duration - 30.0)
+        scored.run(duration)
+        mean_spam, total_spam = _spam_stats(
+            scored_deliveries, set(army.bots)
+        )
+        rows.append((label, len(army.bots), total_spam, mean_spam, verdict))
+
+    # --- PoW baseline ---------------------------------------------------------------
+    pow_net = PowRelayNetwork(
+        peer_count=peer_count, seed=seed, difficulty_bits=18, mining_bits=6
+    )
+    pow_deliveries = pow_net.collect_deliveries()
+    pow_net.start()
+    pow_net.run(2.0)
+    pow_spammer = PowSpammer(pow_net, "peer-0", device=ATTACKER_RIG)
+    # Cap the schedule: an attacker rig sustains ~190 msg/s at 18 bits.
+    pow_spammer.run(min(duration - 30.0, 2.0))
+    pow_net.run(duration)
+    mean_spam, total_spam = _spam_stats(pow_deliveries, {"peer-0"})
+    rows.append(
+        (
+            f"Whisper PoW (18 bits, attacker rig)",
+            pow_spammer.sent,
+            total_spam,
+            mean_spam,
+            "no (work is the only cost)",
+        )
+    )
+
+    headers = (
+        "system",
+        "spam sent",
+        "spam delivered (total)",
+        "spam per honest peer",
+        "attacker removed?",
+    )
+    return headers, rows
+
+
+def routing_overhead_experiment(
+    repetitions: int = 300,
+) -> Tuple[Headers, Rows]:
+    """E8 — per-message cost on the publisher and the router.
+
+    Modeled costs use the paper's calibrated numbers; measured costs are
+    this implementation's wall-clock. PoW publisher cost depends on the
+    device, which is the paper's resource-restriction argument.
+    """
+    config = ProtocolConfig()
+    model = config.performance_model
+    headers = (
+        "system",
+        "publisher cost/msg (s)",
+        "router cost/msg (s)",
+        "notes",
+    )
+    # RLN: measured native proving + measured validation.
+    pk, vk = rln_keys(seed=b"e8")
+    rng = random.Random(8)
+    tree = MerkleTree(20)
+    pair = MembershipKeyPair.generate(rng)
+    index = tree.insert(pair.commitment.element)
+    prover = RlnProver(keypair=pair, proving_key=pk)
+    start = time.perf_counter()
+    signal = prover.create_signal(b"overhead", 1, tree.proof(index))
+    prove_measured = time.perf_counter() - start
+
+    from ..rln.verifier import RlnVerifier
+
+    verifier = RlnVerifier(
+        verifying_key=vk, root_predicate=lambda r: r == tree.root
+    )
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        verifier.is_valid(signal)
+    verify_measured = (time.perf_counter() - start) / repetitions
+
+    rows: Rows = [
+        (
+            "RLN (paper model, phone)",
+            model.prove_seconds(20),
+            model.verify_seconds,
+            "prove once per epoch; verify constant",
+        ),
+        (
+            "RLN (this implementation)",
+            prove_measured,
+            verify_measured,
+            "simulated Groth16",
+        ),
+    ]
+    # PoW: modeled mining per device; verification is one hash.
+    envelope, _ = mine_envelope(b"overhead", 6, rng=rng)
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        verify_envelope(envelope, 6)
+    pow_verify = (time.perf_counter() - start) / repetitions
+    for device in (DESKTOP, PHONE, IOT_DEVICE):
+        rows.append(
+            (
+                f"Whisper PoW 18 bits ({device.name})",
+                device.expected_mining_seconds(18),
+                pow_verify,
+                "mine EVERY message",
+            )
+        )
+    rows.append(
+        ("plain relay", 0.0, 0.0, "no admission control")
+    )
+    return headers, rows
+
+
+def nullifier_map_experiment(
+    epochs: int = 40,
+    senders_per_epoch: int = 30,
+    thr: int = 2,
+) -> Tuple[Headers, Rows]:
+    """E9 — nullifier-map memory stays bounded by the Thr window."""
+    pk, _vk = rln_keys(seed=b"e9")
+    rng = random.Random(9)
+    tree = MerkleTree(12)
+    provers = []
+    for _ in range(senders_per_epoch):
+        pair = MembershipKeyPair.generate(rng)
+        index = tree.insert(pair.commitment.element)
+        provers.append(
+            (RlnProver(keypair=pair, proving_key=pk), index)
+        )
+    nmap = NullifierMap(thr=thr)
+    unbounded = NullifierMap(thr=thr)
+    headers = (
+        "epoch",
+        "entries (pruned)",
+        "bytes (pruned)",
+        "entries (never pruned)",
+    )
+    rows: Rows = []
+    report_at = {1, epochs // 4, epochs // 2, 3 * epochs // 4, epochs - 1}
+    for epoch in range(epochs):
+        for prover, index in provers:
+            signal = prover.create_signal(
+                f"e{epoch}".encode(), epoch, tree.proof(index)
+            )
+            nmap.observe(signal)
+            unbounded.observe(signal)
+        nmap.prune(current_epoch=epoch)
+        if epoch in report_at:
+            rows.append(
+                (
+                    epoch,
+                    nmap.entry_count,
+                    nmap.storage_bytes(),
+                    unbounded.entry_count,
+                )
+            )
+    return headers, rows

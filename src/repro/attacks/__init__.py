@@ -1,0 +1,5 @@
+"""Adversary models used by the comparison experiments."""
+
+from .spam import FloodSpammer, PowSpammer, RlnSpammer, SybilArmy
+
+__all__ = ["RlnSpammer", "FloodSpammer", "PowSpammer", "SybilArmy"]

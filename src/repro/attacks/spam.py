@@ -1,0 +1,181 @@
+"""Adversary models: spammers and Sybil bot armies.
+
+These drive the comparison experiments (E7/E8): the same flooding
+adversary is thrown at Waku-RLN-Relay, the PoW baseline and the
+peer-scoring baseline, and the experiment records how much spam reaches
+honest peers and what the attack costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..baselines.pow import ATTACKER_RIG, DeviceProfile
+from ..baselines.relay_baselines import BaselineNetwork, PowRelayNetwork
+from ..core.peer import WakuRlnRelayPeer
+from ..core.protocol import WakuRlnRelayNetwork
+from ..errors import RegistrationError
+from ..waku.message import WakuMessage
+
+
+@dataclass
+class RlnSpammer:
+    """A registered member that violates its rate limit.
+
+    The spammer publishes ``burst`` distinct messages per epoch — every
+    message past the first in an epoch is a double-signal revealing a
+    new share of its key.
+    """
+
+    peer: WakuRlnRelayPeer
+    burst: int = 5
+    sent: int = 0
+    payloads: List[bytes] = field(default_factory=list)
+
+    def flood_epoch(self, marker: bytes = b"SPAM") -> int:
+        """Emit one burst in the current epoch; returns messages sent.
+
+        Stops early once the spammer's membership is gone (its proofs
+        no longer verify against any accepted root, so continuing is
+        pointless for the attacker).
+        """
+        emitted = 0
+        for i in range(self.burst):
+            if not self.peer.is_registered:
+                break
+            payload = marker + f"|{self.sent}".encode()
+            try:
+                self.peer.publish(payload, bypass_rate_limit=True)
+            except RegistrationError:
+                break
+            self.payloads.append(payload)
+            self.sent += 1
+            emitted += 1
+        return emitted
+
+    def run(self, net: WakuRlnRelayNetwork, epochs: int) -> None:
+        """Schedule one burst at the start of each of the next epochs."""
+        epoch_length = net.config.epoch_length
+        for k in range(epochs):
+            net.simulator.schedule(
+                k * epoch_length + 0.01,
+                lambda _sim: self.flood_epoch(),
+                label="rln-spam-burst",
+            )
+
+
+@dataclass
+class FloodSpammer:
+    """A flooding publisher for the unprotected / scoring baselines."""
+
+    network: BaselineNetwork
+    node_id: str
+    rate_per_second: float = 10.0
+    sent: int = 0
+
+    def run(self, duration: float, marker: bytes = b"SPAM") -> None:
+        node = next(
+            n for n in self.network.nodes if n.node_id == self.node_id
+        )
+        interval = 1.0 / self.rate_per_second
+        count = int(duration / interval)
+        for k in range(count):
+            def publish(_sim, seq=k):
+                node.publish(WakuMessage(payload=marker + f"|{seq}".encode()))
+                self.sent += 1
+
+            self.network.simulator.schedule(
+                k * interval, publish, label="flood"
+            )
+
+
+@dataclass
+class PowSpammer:
+    """A flooding attacker with serious mining hardware (PoW baseline).
+
+    Its sustainable rate is bounded only by its rig's hash rate:
+    ``rate = hash_rate / 2^difficulty`` — far above any honest phone.
+    """
+
+    network: PowRelayNetwork
+    node_id: str
+    device: DeviceProfile = ATTACKER_RIG
+    sent: int = 0
+
+    @property
+    def sustainable_rate(self) -> float:
+        return self.device.hash_rate / (2.0 ** self.network.difficulty_bits)
+
+    def run(self, duration: float, marker: bytes = b"SPAM") -> None:
+        node = next(
+            n for n in self.network.nodes if n.node_id == self.node_id
+        )
+        interval = 1.0 / self.sustainable_rate
+        count = int(duration / interval)
+        for k in range(count):
+            def publish(_sim, seq=k):
+                self.network.publish_with_pow(
+                    node, marker + f"|{seq}".encode(), self.device
+                )
+                self.sent += 1
+
+            self.network.simulator.schedule(
+                k * interval, publish, label="pow-flood"
+            )
+
+
+@dataclass
+class SybilArmy:
+    """Bot swarm for the peer-scoring baseline.
+
+    Scoring penalises a *connection*; a Sybil attacker spins up fresh
+    bot identities (optionally sharing one IP) and keeps flooding from
+    new nodes as old ones get graylisted — the "inexpensive attack"
+    of Section I.
+    """
+
+    network: BaselineNetwork
+    bot_count: int = 10
+    attach_degree: int = 3
+    rate_per_bot: float = 5.0
+    shared_ip: Optional[str] = "203.0.113.7"
+    bots: List[str] = field(default_factory=list)
+
+    def deploy(self) -> None:
+        rng = self.network.simulator.rng
+        honest_ids = [n.node_id for n in self.network.nodes]
+        for b in range(self.bot_count):
+            bot_id = f"sybil-{b}"
+            neighbors = rng.sample(
+                honest_ids, min(self.attach_degree, len(honest_ids))
+            )
+            node = self.network.add_node(bot_id, neighbors)
+            self.bots.append(bot_id)
+            if self.shared_ip is not None:
+                for honest in self.network.nodes:
+                    honest.router.scores.set_ip(bot_id, self.shared_ip)
+            del node
+
+    def run(self, duration: float, marker: bytes = b"SPAM") -> int:
+        """Flood from every bot; returns the number of scheduled sends."""
+        scheduled = 0
+        for b, bot_id in enumerate(self.bots):
+            node = next(
+                n for n in self.network.nodes if n.node_id == bot_id
+            )
+            interval = 1.0 / self.rate_per_bot
+            count = int(duration / interval)
+            for k in range(count):
+                def publish(_sim, seq=k, origin=b, target=node):
+                    target.publish(
+                        WakuMessage(
+                            payload=marker + f"|{origin}|{seq}".encode()
+                        )
+                    )
+
+                self.network.simulator.schedule(
+                    k * interval + 0.001 * b, publish, label="sybil-flood"
+                )
+                scheduled += 1
+        return scheduled

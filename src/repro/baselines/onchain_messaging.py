@@ -1,0 +1,97 @@
+"""On-chain messaging baseline (the original RLN signalling model).
+
+In the original RLN proposal, signals are *written to the contract*:
+a message only becomes visible once its transaction is mined, and the
+sender pays gas for calldata plus storage. Section III of the paper
+contrasts this with Waku-RLN-Relay's off-chain gossip distribution
+("higher message propagation speed ... and we save our users the gas
+price"). This module implements the on-chain side of that comparison
+for experiment E6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..eth.chain import Blockchain, Contract, TxContext
+
+
+class MessageBoardContract(Contract):
+    """Stores message digests on-chain; emits one event per post."""
+
+    def post(self, ctx: TxContext, payload_hash: int, epoch: int) -> int:
+        """Record a message; returns its sequence number."""
+        ctx.require(payload_hash != 0, "empty message")
+        count = ctx.sload("count")
+        ctx.sstore(("message", count), payload_hash)
+        ctx.sstore("count", count + 1)
+        ctx.emit("MessagePosted", payload_hash=payload_hash, epoch=epoch)
+        return count
+
+    def message_count(self) -> int:
+        return self.storage.get("count", 0)
+
+
+@dataclass(frozen=True)
+class OnChainDelivery:
+    """Timing record for one on-chain message."""
+
+    submitted_at: float
+    mined_at: float
+    gas_used: int
+
+    @property
+    def latency(self) -> float:
+        return self.mined_at - self.submitted_at
+
+
+class OnChainMessagingSystem:
+    """Posts messages through the mempool and measures visibility lag."""
+
+    def __init__(
+        self,
+        block_interval: float = 13.0,
+        payload_bytes: int = 256,
+    ) -> None:
+        self.chain = Blockchain(block_interval=block_interval)
+        self.contract = MessageBoardContract("board")
+        self.chain.deploy(self.contract)
+        self.payload_bytes = payload_bytes
+        self.chain.create_account("publisher", balance=10**20)
+        self._pending: List[tuple] = []
+        self.deliveries: List[OnChainDelivery] = []
+
+    def post(self, payload_hash: int, epoch: int, now: float) -> None:
+        """Submit a message transaction at simulated time ``now``."""
+        tx = self.chain.transact(
+            "publisher",
+            "board",
+            "post",
+            payload_hash,
+            epoch,
+            calldata_bytes=4 + 64 + self.payload_bytes,
+            submitted_at=now,
+        )
+        self._pending.append((tx.tx_hash, now))
+
+    def mine(self, now: float) -> List[OnChainDelivery]:
+        """Seal a block at ``now``; returns deliveries it contained."""
+        self.chain.mine_block(timestamp=now)
+        mined: List[OnChainDelivery] = []
+        still_pending = []
+        for tx_hash, submitted in self._pending:
+            receipt = self.chain.receipts.get(tx_hash)
+            if receipt is None:
+                still_pending.append((tx_hash, submitted))
+                continue
+            mined.append(
+                OnChainDelivery(
+                    submitted_at=submitted,
+                    mined_at=now,
+                    gas_used=receipt.gas_used,
+                )
+            )
+        self._pending = still_pending
+        self.deliveries.extend(mined)
+        return mined

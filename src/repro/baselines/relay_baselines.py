@@ -1,0 +1,168 @@
+"""Baseline relay networks: PoW-protected, score-only, unprotected.
+
+These harnesses mirror :class:`~repro.core.protocol.WakuRlnRelayNetwork`
+closely enough that the spam experiments (E7/E8) can run the *same*
+attack against all four systems and compare outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..gossipsub.params import GossipSubParams
+from ..gossipsub.router import ValidationResult
+from ..gossipsub.score import PeerScoreParams, strict_topic_params
+from ..net.network import Network
+from ..net.topology import connect_full_mesh, connect_random_regular
+from ..sim.latency import LatencyModel, UniformLatency
+from ..sim.simulator import Simulator
+from ..waku.message import WakuMessage
+from ..waku.relay import WakuRelayNode
+from .pow import DeviceProfile, PHONE, PowEnvelope, mine_envelope, verify_envelope
+
+
+@dataclass
+class BaselineNetwork:
+    """A network of plain Waku-Relay nodes (no spam protection)."""
+
+    peer_count: int
+    seed: int = 0
+    degree: Optional[int] = 6
+    latency: Optional[LatencyModel] = None
+    gossip: Optional[GossipSubParams] = None
+    score_params: Optional[PeerScoreParams] = None
+
+    def __post_init__(self) -> None:
+        self.simulator = Simulator(seed=self.seed)
+        self.network = Network(
+            simulator=self.simulator,
+            latency=self.latency or UniformLatency(base_seconds=0.03),
+        )
+        self.metrics = self.network.metrics
+        self.nodes: List[WakuRelayNode] = [
+            self._make_node(f"peer-{i}") for i in range(self.peer_count)
+        ]
+        ids = [n.node_id for n in self.nodes]
+        if self.degree is None or self.peer_count <= self.degree + 1:
+            connect_full_mesh(self.network, ids)
+        else:
+            degree = self.degree
+            if (self.peer_count * degree) % 2:
+                degree += 1
+            connect_random_regular(self.network, ids, degree, seed=self.seed)
+
+    def _make_node(self, node_id: str) -> WakuRelayNode:
+        return WakuRelayNode(
+            node_id,
+            self.network,
+            gossip_params=self.gossip,
+            score_params=self.score_params,
+        )
+
+    def add_node(self, node_id: str, connect_to: List[str]) -> WakuRelayNode:
+        """Attach an extra node (e.g. a Sybil bot) to the overlay.
+
+        Both sides exchange subscription announcements, as real libp2p
+        peers do on connection establishment.
+        """
+        node = self._make_node(node_id)
+        by_id = {n.node_id: n for n in self.nodes}
+        for peer in connect_to:
+            self.network.connect(node_id, peer)
+        node.start()
+        for peer in connect_to:
+            existing = by_id.get(peer)
+            if existing is not None:
+                existing.router.announce_to(node_id)
+        self.nodes.append(node)
+        return node
+
+    def start(self) -> None:
+        for node in self.nodes:
+            node.start()
+
+    def run(self, duration: float) -> None:
+        self.simulator.run_for(duration)
+
+    def collect_deliveries(self) -> Dict[str, List[bytes]]:
+        deliveries: Dict[str, List[bytes]] = {n.node_id: [] for n in self.nodes}
+        for node in self.nodes:
+            node.on_message(
+                lambda msg, _mid, nid=node.node_id: deliveries[nid].append(
+                    msg.payload
+                )
+            )
+        return deliveries
+
+
+@dataclass
+class PowRelayNetwork(BaselineNetwork):
+    """Waku-Relay + Whisper PoW admission (the paper's PoW baseline).
+
+    Every router checks the envelope's work; publishing costs the
+    device's expected mining time in *simulated* seconds (the nonce
+    search itself runs with a low real difficulty so tests stay fast,
+    while the reported latency uses the modeled difficulty).
+    """
+
+    difficulty_bits: int = 18
+    #: Difficulty actually mined in-process (kept small for speed);
+    #: verification checks this real difficulty.
+    mining_bits: int = 8
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for node in self.nodes:
+            node.add_validator(self._pow_validator)
+
+    def _pow_validator(self, message: WakuMessage) -> ValidationResult:
+        try:
+            envelope = PowEnvelope.from_bytes(message.payload)
+        except Exception:
+            return ValidationResult.REJECT
+        if not verify_envelope(envelope, self.mining_bits):
+            self.metrics.increment("pow.rejected")
+            return ValidationResult.REJECT
+        return ValidationResult.ACCEPT
+
+    def publish_with_pow(
+        self,
+        node: WakuRelayNode,
+        payload: bytes,
+        device: DeviceProfile = PHONE,
+    ) -> float:
+        """Mine and publish after the device's modeled mining delay.
+
+        Returns the modeled mining time in seconds.
+        """
+        envelope, _ = mine_envelope(
+            payload, self.mining_bits, rng=self.simulator.rng
+        )
+        delay = device.expected_mining_seconds(self.difficulty_bits)
+        message = WakuMessage(payload=envelope.to_bytes())
+        self.simulator.schedule(
+            delay, lambda _sim: node.publish(message), label="pow-publish"
+        )
+        self.metrics.increment("pow.mined")
+        return delay
+
+
+def scoring_network(
+    peer_count: int,
+    seed: int = 0,
+    degree: Optional[int] = 6,
+    expected_rate: float = 1.0,
+) -> BaselineNetwork:
+    """A relay network defended *only* by gossipsub v1.1 peer scoring.
+
+    This is the paper's second baseline: scoring punishes misbehaving
+    *connections*, not identities, so a Sybil attacker simply shows up
+    with fresh bots.
+    """
+    params = PeerScoreParams(
+        default_topic_params=strict_topic_params(expected_rate),
+    )
+    return BaselineNetwork(
+        peer_count=peer_count, seed=seed, degree=degree, score_params=params
+    )

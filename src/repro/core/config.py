@@ -1,0 +1,64 @@
+"""Protocol configuration for a Waku-RLN-Relay deployment."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..constants import (
+    DEFAULT_EPOCH_LENGTH_SECONDS,
+    DEFAULT_MAX_NETWORK_DELAY_SECONDS,
+    DEFAULT_MEMBERSHIP_STAKE_WEI,
+    DEFAULT_MERKLE_DEPTH,
+    DEFAULT_SLASH_BURN_FRACTION,
+)
+from ..crypto.zksnark.timing import DEFAULT_PERFORMANCE_MODEL, PerformanceModel
+from ..gossipsub.params import GossipSubParams
+from ..rln.membership import DEFAULT_ROOT_WINDOW
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """All tunables of the protocol in one immutable object.
+
+    ``thr`` — the epoch acceptance threshold — is *derived*, not set:
+    Section III defines ``Thr = D / T`` where ``D`` is the maximum
+    network delay and ``T`` the epoch length, so changing either input
+    changes the window consistently.
+    """
+
+    #: Epoch length T in seconds.
+    epoch_length: float = DEFAULT_EPOCH_LENGTH_SECONDS
+    #: Maximum network delay D in seconds.
+    max_network_delay: float = DEFAULT_MAX_NETWORK_DELAY_SECONDS
+    #: Membership tree depth (group capacity = 2**depth).
+    merkle_depth: int = DEFAULT_MERKLE_DEPTH
+    #: Stake required to register, in wei.
+    stake_wei: int = DEFAULT_MEMBERSHIP_STAKE_WEI
+    #: Fraction of a slashed stake that is burnt (rest rewards reporter).
+    burn_fraction: float = DEFAULT_SLASH_BURN_FRACTION
+    #: Optional RLN application domain bound into external nullifiers.
+    domain: Optional[str] = None
+    #: "native" (fast relation check) or "r1cs" (full constraint system).
+    proving_mode: str = "native"
+    #: How many recent membership roots routers accept.
+    root_window: int = DEFAULT_ROOT_WINDOW
+    #: How often peers poll the contract event log, in seconds.
+    sync_interval: float = 2.0
+    #: Membership contract design: "registry" (paper) or "onchain_tree".
+    contract_design: str = "registry"
+    #: When True, modeled zkSNARK latencies delay publish/validation in
+    #: simulated time (the paper's 0.5 s prove / 30 ms verify figures).
+    model_crypto_latency: bool = False
+    performance_model: PerformanceModel = DEFAULT_PERFORMANCE_MODEL
+    gossip: GossipSubParams = field(default_factory=GossipSubParams)
+
+    @property
+    def thr(self) -> int:
+        """Epoch acceptance threshold ``Thr = ceil(D / T)`` (Section III)."""
+        return max(1, math.ceil(self.max_network_delay / self.epoch_length))
+
+    @property
+    def group_capacity(self) -> int:
+        return 1 << self.merkle_depth

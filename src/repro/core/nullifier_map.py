@@ -1,0 +1,104 @@
+"""The nullifier map: per-epoch log of seen shares.
+
+Section III: "each routing peer locally keeps a record of the secret key
+share [sk] and the internal nullifier phi of all of its incoming
+messages for the past Thr epochs"; new messages are checked against it
+to spot double-signaling, and entries older than the acceptance window
+are garbage-collected because such messages "are considered invalid by
+default" anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+from ..crypto.field import Fr
+from ..rln.signal import RlnSignal
+
+
+class NullifierCheck(Enum):
+    """Classification of a signal against the map."""
+
+    NEW = "new"  # first signal with this nullifier — record and relay
+    DUPLICATE = "duplicate"  # byte-identical share seen before — ignore
+    DOUBLE_SIGNAL = "double_signal"  # same nullifier, different share: spam
+
+
+@dataclass(frozen=True)
+class NullifierRecord:
+    """What a router remembers per (epoch, internal nullifier)."""
+
+    share_x: Fr
+    share_y: Fr
+    signal: RlnSignal
+
+
+class NullifierMap:
+    """Sliding-window map ``epoch -> internal nullifier -> record``."""
+
+    def __init__(self, thr: int) -> None:
+        if thr < 1:
+            raise ValueError("thr must be at least 1")
+        self.thr = thr
+        self._epochs: Dict[int, Dict[Fr, NullifierRecord]] = {}
+
+    # -- core operation ---------------------------------------------------------
+
+    def observe(
+        self, signal: RlnSignal
+    ) -> Tuple[NullifierCheck, Optional[NullifierRecord]]:
+        """Record ``signal``; classify it against previous observations.
+
+        Returns ``(NEW, None)``, ``(DUPLICATE, prior)`` or
+        ``(DOUBLE_SIGNAL, prior)`` where ``prior`` is the conflicting
+        earlier record (the second Shamir share needed for slashing).
+        """
+        bucket = self._epochs.setdefault(signal.epoch, {})
+        prior = bucket.get(signal.internal_nullifier)
+        if prior is None:
+            bucket[signal.internal_nullifier] = NullifierRecord(
+                share_x=signal.share.x,
+                share_y=signal.share.y,
+                signal=signal,
+            )
+            return NullifierCheck.NEW, None
+        if prior.share_x == signal.share.x:
+            return NullifierCheck.DUPLICATE, prior
+        return NullifierCheck.DOUBLE_SIGNAL, prior
+
+    # -- garbage collection --------------------------------------------------------
+
+    def prune(self, current_epoch: int) -> int:
+        """Drop epochs outside the acceptance window; returns #entries freed.
+
+        An epoch ``e`` can still receive valid messages while
+        ``|current - e| <= thr``, so everything at distance > thr goes.
+        """
+        expired = [
+            epoch
+            for epoch in self._epochs
+            if abs(current_epoch - epoch) > self.thr
+        ]
+        freed = 0
+        for epoch in expired:
+            freed += len(self._epochs.pop(epoch))
+        return freed
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        return sum(len(bucket) for bucket in self._epochs.values())
+
+    @property
+    def epoch_count(self) -> int:
+        return len(self._epochs)
+
+    def epochs(self):
+        return sorted(self._epochs)
+
+    def storage_bytes(self) -> int:
+        """Approximate persisted size: per entry phi + x + y (3 x 32 B)."""
+        return 96 * self.entry_count

@@ -1,0 +1,305 @@
+"""The integrated Waku-RLN-Relay peer.
+
+One :class:`WakuRlnRelayPeer` owns every per-peer moving part of
+Figure 1:
+
+* an Ethereum account and the registration transaction (staking);
+* a local replica of the membership tree, synced from contract events
+  ("Group Synchronization");
+* an RLN prover for publishing (one message per epoch, locally
+  enforced on the honest path);
+* the Section III routing pipeline — proof verification, epoch window,
+  nullifier map — wired into the Waku-Relay validator hook;
+* slashing: on detecting a double-signal it reconstructs the spammer's
+  secret and submits it to the membership contract for the reward.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..crypto.field import Fr
+from ..crypto.keys import IdentityCommitment, MembershipKeyPair
+from ..crypto.zksnark.groth16 import ProvingKey, VerifyingKey
+from ..errors import RateLimitError, RegistrationError
+from ..eth.chain import Blockchain
+from ..net.network import Network, NodeId
+from ..rln.membership import LocalGroup
+from ..rln.prover import RlnProver
+from ..rln.slashing import SlashingEvidence
+from ..rln.verifier import RlnVerifier
+from ..waku.message import WakuMessage
+from ..waku.relay import WakuRelayNode
+from ..gossipsub.router import ValidationResult
+from .config import ProtocolConfig
+from .epoch import EpochTracker
+from .nullifier_map import NullifierMap
+from .validator import RlnMessageValidator, ValidationOutcome
+
+#: Application handler: (payload bytes, message id).
+PayloadHandler = Callable[[bytes, str], None]
+
+#: Mapping from validation outcomes to gossip-layer actions. Spam and
+#: duplicates are IGNOREd rather than REJECTed: the forwarding hop is
+#: usually an honest router that had not yet seen the first signal, so
+#: punishing it (P4) would let a spammer poison honest peers' scores.
+_OUTCOME_TO_GOSSIP = {
+    ValidationOutcome.RELAY: ValidationResult.ACCEPT,
+    ValidationOutcome.IGNORE_DUPLICATE: ValidationResult.IGNORE,
+    ValidationOutcome.DROP_SPAM: ValidationResult.IGNORE,
+    ValidationOutcome.REJECT_INVALID_PROOF: ValidationResult.REJECT,
+    ValidationOutcome.REJECT_BAD_EPOCH: ValidationResult.REJECT,
+    ValidationOutcome.REJECT_MALFORMED: ValidationResult.REJECT,
+}
+
+
+class WakuRlnRelayPeer:
+    """A full Waku-RLN-Relay participant."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        network: Network,
+        chain: Blockchain,
+        contract_address: str,
+        config: ProtocolConfig,
+        proving_key: ProvingKey,
+        verifying_key: VerifyingKey,
+        rng=None,
+        initial_balance_wei: Optional[int] = None,
+        clock_skew: float = 0.0,
+    ) -> None:
+        self.node_id = node_id
+        self.network = network
+        self.chain = chain
+        self.contract_address = contract_address
+        self.config = config
+
+        self.keypair = MembershipKeyPair.generate(rng)
+        self.group = LocalGroup(config.merkle_depth, config.root_window)
+        self.prover = RlnProver(
+            keypair=self.keypair,
+            proving_key=proving_key,
+            mode=config.proving_mode,
+        )
+        self.epoch_tracker = EpochTracker(
+            network.simulator, config.epoch_length, clock_skew
+        )
+        verifier = RlnVerifier(
+            verifying_key=verifying_key,
+            root_predicate=self.group.is_acceptable_root,
+            domain=config.domain,
+        )
+        self.validator = RlnMessageValidator(
+            verifier=verifier,
+            epoch_tracker=self.epoch_tracker,
+            nullifier_map=NullifierMap(config.thr),
+            metrics=network.metrics,
+        )
+        processing_delay = (
+            config.performance_model.verify_seconds
+            if config.model_crypto_latency
+            else 0.0
+        )
+        self.relay = WakuRelayNode(
+            node_id,
+            network,
+            gossip_params=config.gossip,
+            processing_delay=processing_delay,
+        )
+        # Scope the RLN checks to the RLN topic: the same host may join
+        # other (non-rate-limited) topics on the same relay node.
+        self.relay.add_validator(
+            self._validate_waku_message, topic=self.relay.pubsub_topic
+        )
+        self.relay.on_message(self._handle_waku_message)
+        self.validator.on_spam(self._submit_slash)
+
+        balance = (
+            initial_balance_wei
+            if initial_balance_wei is not None
+            else config.stake_wei * 2
+        )
+        self.account = chain.create_account(f"eoa:{node_id}", balance).address
+
+        self.leaf_index: Optional[int] = None
+        self.payload_handlers: List[PayloadHandler] = []
+        self.slashes_submitted = 0
+        self._slashes_reported: set = set()
+        self._synced_log_index = 0
+        self._membership_events_applied = 0
+        self._last_published_epoch: Optional[int] = None
+        self._stop_tasks: List[Callable[[], None]] = []
+
+    # -- registration & sync --------------------------------------------------
+
+    @property
+    def commitment(self) -> IdentityCommitment:
+        return self.keypair.commitment
+
+    @property
+    def is_registered(self) -> bool:
+        return self.leaf_index is not None
+
+    def register(self) -> None:
+        """Queue the staking/registration transaction (mined with the
+        next block; the peer learns its index from the emitted event)."""
+        self.chain.transact(
+            self.account,
+            self.contract_address,
+            "register",
+            int(self.commitment.element),
+            value=self.config.stake_wei,
+            calldata_bytes=4 + 32,
+            submitted_at=self.network.simulator.now,
+        )
+
+    def sync(self) -> int:
+        """Apply new contract events to the local tree; returns #applied."""
+        events = self.chain.events_since(self._synced_log_index)
+        applied = 0
+        for event in events:
+            self._synced_log_index = event.log_index + 1
+            if event.contract != self.contract_address:
+                continue
+            if event.name == "MemberRegistered":
+                commitment = IdentityCommitment(Fr(event.args["pk"]))
+                index = self.group.apply_registration(
+                    commitment, self._membership_events_applied
+                )
+                if commitment == self.commitment:
+                    self.leaf_index = index
+                self._membership_events_applied += 1
+                applied += 1
+            elif event.name == "MemberRemoved":
+                index = event.args["index"]
+                self.group.apply_removal(
+                    index, self._membership_events_applied
+                )
+                if index == self.leaf_index:
+                    self.leaf_index = None  # we were slashed
+                self._membership_events_applied += 1
+                applied += 1
+        return applied
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Join the relay mesh and begin periodic sync + housekeeping."""
+        self.relay.start()
+        sim = self.network.simulator
+        self._stop_tasks.append(
+            sim.schedule_periodic(
+                self.config.sync_interval,
+                lambda _sim: self.sync(),
+                label=f"sync:{self.node_id}",
+                jitter=0.2,
+            )
+        )
+        self._stop_tasks.append(
+            sim.schedule_periodic(
+                self.config.epoch_length,
+                lambda _sim: self.validator.housekeeping(),
+                label=f"gc:{self.node_id}",
+                jitter=0.2,
+            )
+        )
+
+    def stop(self) -> None:
+        self.relay.stop()
+        for cancel in self._stop_tasks:
+            cancel()
+        self._stop_tasks.clear()
+
+    # -- publishing -----------------------------------------------------------------
+
+    def publish(
+        self,
+        payload: bytes,
+        content_topic: str = "/repro/1/chat/proto",
+        bypass_rate_limit: bool = False,
+    ) -> str:
+        """Publish one rate-limited message; returns the message ID.
+
+        Honest peers enforce their own one-message-per-epoch limit and
+        get :class:`RateLimitError` when exceeding it; adversarial
+        simulations pass ``bypass_rate_limit=True`` to emit the
+        double-signals the network is supposed to catch.
+        """
+        if not self.is_registered:
+            raise RegistrationError(
+                f"{self.node_id} is not (yet) a registered group member"
+            )
+        epoch = self.epoch_tracker.current_epoch
+        if not bypass_rate_limit and self._last_published_epoch == epoch:
+            raise RateLimitError(epoch)
+        signal = self.prover.create_signal(
+            message=payload,
+            epoch=epoch,
+            merkle_proof=self.group.merkle_proof(self.leaf_index),
+            domain=self.config.domain,
+        )
+        self._last_published_epoch = epoch
+        message = WakuMessage(
+            payload=payload,
+            content_topic=content_topic,
+            rate_limit_proof=signal.to_bytes(),
+        )
+        if self.config.model_crypto_latency:
+            # Proof generation occupies the device before the message
+            # can leave (0.5 s at depth 32 on the reference phone).
+            delay = self.config.performance_model.prove_seconds(
+                self.config.merkle_depth
+            )
+            self.network.simulator.schedule(
+                delay,
+                lambda _sim: self.relay.publish(message),
+                label=f"publish:{self.node_id}",
+            )
+            from ..gossipsub.rpc import compute_message_id
+
+            return compute_message_id(
+                self.relay.pubsub_topic, message.to_bytes()
+            )
+        return self.relay.publish(message)
+
+    # -- receiving --------------------------------------------------------------------
+
+    def on_payload(self, handler: PayloadHandler) -> None:
+        self.payload_handlers.append(handler)
+
+    def _handle_waku_message(self, message: WakuMessage, msg_id: str) -> None:
+        for handler in self.payload_handlers:
+            handler(message.payload, msg_id)
+
+    def _validate_waku_message(self, message: WakuMessage) -> ValidationResult:
+        report = self.validator.validate_bytes(message.rate_limit_proof)
+        return _OUTCOME_TO_GOSSIP[report.outcome]
+
+    # -- slashing ---------------------------------------------------------------------
+
+    def _submit_slash(self, evidence: SlashingEvidence) -> None:
+        """Claim the slashing reward for a detected double-signal.
+
+        Skips the transaction when the member is already gone from the
+        local tree or we have reported it before — the on-chain call
+        would revert and only waste gas.
+        """
+        if evidence.commitment in self._slashes_reported:
+            return
+        if not self.group.contains(evidence.commitment):
+            return
+        self._slashes_reported.add(evidence.commitment)
+        self.slashes_submitted += 1
+        self.chain.transact(
+            self.account,
+            self.contract_address,
+            "slash",
+            int(evidence.recovered_secret.element),
+            calldata_bytes=4 + 32,
+            submitted_at=self.network.simulator.now,
+        )
+
+    @property
+    def balance(self) -> int:
+        return self.chain.get_account(self.account).balance

@@ -1,0 +1,152 @@
+"""Whole-network harness: chain + contract + peers + overlay + miner.
+
+:class:`WakuRlnRelayNetwork` assembles everything a simulation needs —
+used by the integration tests, the examples and every benchmark. The
+flow matches the paper's deployment story:
+
+1. deploy the membership contract (registry by default);
+2. create peers, each with an Ethereum account and an RLN credential;
+3. peers submit registration transactions; a miner process seals blocks
+   every ``block_interval`` simulated seconds; peers pick up the
+   emitted events and converge on the same membership tree;
+4. the GossipSub overlay is wired (random-regular by default) and
+   heartbeats start;
+5. peers publish; routers validate; spammers get slashed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..constants import ETH_BLOCK_INTERVAL_SECONDS
+from ..errors import RegistrationError
+from ..eth.chain import Blockchain
+from ..eth.contracts import MembershipRegistry, OnChainTreeContract
+from ..net.network import Network
+from ..net.topology import connect_full_mesh, connect_random_regular
+from ..rln.prover import rln_keys
+from ..sim.latency import LatencyModel, UniformLatency
+from ..sim.metrics import MetricsRegistry
+from ..sim.simulator import Simulator
+from .config import ProtocolConfig
+from .peer import WakuRlnRelayPeer
+
+CONTRACT_ADDRESS = "contract:membership"
+
+
+class WakuRlnRelayNetwork:
+    """A ready-to-run Waku-RLN-Relay deployment in one object."""
+
+    def __init__(
+        self,
+        peer_count: int,
+        config: Optional[ProtocolConfig] = None,
+        seed: int = 0,
+        degree: Optional[int] = 6,
+        latency: Optional[LatencyModel] = None,
+        block_interval: float = ETH_BLOCK_INTERVAL_SECONDS,
+    ) -> None:
+        self.config = config or ProtocolConfig()
+        self.simulator = Simulator(seed=seed)
+        self.metrics: MetricsRegistry
+        self.network = Network(
+            simulator=self.simulator,
+            latency=latency or UniformLatency(base_seconds=0.03),
+        )
+        self.metrics = self.network.metrics
+        self.chain = Blockchain(block_interval=block_interval)
+        if self.config.contract_design == "registry":
+            contract = MembershipRegistry(
+                CONTRACT_ADDRESS,
+                stake_wei=self.config.stake_wei,
+                burn_fraction=self.config.burn_fraction,
+            )
+        elif self.config.contract_design == "onchain_tree":
+            contract = OnChainTreeContract(
+                CONTRACT_ADDRESS,
+                depth=self.config.merkle_depth,
+                stake_wei=self.config.stake_wei,
+                burn_fraction=self.config.burn_fraction,
+            )
+        else:
+            raise RegistrationError(
+                f"unknown contract design {self.config.contract_design!r}"
+            )
+        self.contract = self.chain.deploy(contract)
+
+        proving_key, verifying_key = rln_keys(seed=seed.to_bytes(8, "big"))
+        self.proving_key = proving_key
+        self.verifying_key = verifying_key
+
+        self.peers: List[WakuRlnRelayPeer] = [
+            WakuRlnRelayPeer(
+                node_id=f"peer-{i}",
+                network=self.network,
+                chain=self.chain,
+                contract_address=CONTRACT_ADDRESS,
+                config=self.config,
+                proving_key=proving_key,
+                verifying_key=verifying_key,
+                rng=self.simulator.rng,
+            )
+            for i in range(peer_count)
+        ]
+        ids = [p.node_id for p in self.peers]
+        if degree is None or peer_count <= degree + 1:
+            connect_full_mesh(self.network, ids)
+        else:
+            if (peer_count * degree) % 2:
+                degree += 1
+            connect_random_regular(self.network, ids, degree, seed=seed)
+        self._miner_cancel: Optional[Callable[[], None]] = None
+
+    # -- deployment steps -------------------------------------------------------
+
+    def register_all(self) -> None:
+        """Register every peer and settle the transactions immediately."""
+        for peer in self.peers:
+            peer.register()
+        self.chain.mine_block(timestamp=self.simulator.now)
+        for peer in self.peers:
+            peer.sync()
+
+    def start(self, mine_blocks: bool = True) -> None:
+        """Start relays, periodic peer tasks and (optionally) the miner."""
+        for peer in self.peers:
+            peer.start()
+        if mine_blocks and self._miner_cancel is None:
+            self._miner_cancel = self.simulator.schedule_periodic(
+                self.chain.block_interval,
+                lambda sim: self.chain.mine_block(timestamp=sim.now),
+                label="miner",
+            )
+
+    def stop(self) -> None:
+        for peer in self.peers:
+            peer.stop()
+        if self._miner_cancel is not None:
+            self._miner_cancel()
+            self._miner_cancel = None
+
+    def run(self, duration: float) -> None:
+        self.simulator.run_for(duration)
+
+    # -- conveniences ----------------------------------------------------------------
+
+    def peer(self, index: int) -> WakuRlnRelayPeer:
+        return self.peers[index]
+
+    def collect_deliveries(self) -> Dict[str, List[bytes]]:
+        """Attach recorders to every peer; returns the live dict."""
+        deliveries: Dict[str, List[bytes]] = {p.node_id: [] for p in self.peers}
+        for peer in self.peers:
+            peer.on_payload(
+                lambda payload, _mid, pid=peer.node_id: deliveries[pid].append(
+                    payload
+                )
+            )
+        return deliveries
+
+    @property
+    def registered_count(self) -> int:
+        return sum(1 for p in self.peers if p.is_registered)

@@ -1,0 +1,118 @@
+"""The routing-peer validation pipeline (paper Section III, "Routing
+and Slashing").
+
+A routing peer applies, in order:
+
+1. **Proof validity** — the zkSNARK verifies against the signal's
+   public inputs and an acceptable membership root → otherwise REJECT
+   (and the gossip layer penalises the forwarding peer, P4);
+2. **Epoch window** — ``|local epoch - signal epoch| > Thr`` →
+   REJECT (prevents a new member from spamming all past epochs);
+3. **Nullifier map** — same nullifier + same share: duplicate → IGNORE;
+   same nullifier + different share: **double-signal** → drop the
+   message and emit :class:`~repro.rln.slashing.SlashingEvidence` so the
+   peer can claim the on-chain reward.
+
+The outcome feeds straight into the gossipsub validator hook, so
+invalid spam never propagates beyond the first honest hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, List, Optional
+
+from ..errors import SerializationError
+from ..rln.signal import RlnSignal
+from ..rln.slashing import SlashingEvidence, detect_double_signal
+from ..rln.verifier import RlnVerifier, SignalCheck
+from ..sim.metrics import MetricsRegistry
+from .epoch import EpochTracker
+from .nullifier_map import NullifierCheck, NullifierMap
+
+
+class ValidationOutcome(Enum):
+    """What the router should do with a message."""
+
+    RELAY = "relay"
+    REJECT_INVALID_PROOF = "reject_invalid_proof"
+    REJECT_BAD_EPOCH = "reject_bad_epoch"
+    REJECT_MALFORMED = "reject_malformed"
+    IGNORE_DUPLICATE = "ignore_duplicate"
+    DROP_SPAM = "drop_spam"
+
+
+@dataclass
+class ValidationReport:
+    """Outcome plus any slashing evidence produced along the way."""
+
+    outcome: ValidationOutcome
+    signal: Optional[RlnSignal] = None
+    evidence: Optional[SlashingEvidence] = None
+
+
+#: Called whenever validation uncovers a double-signal.
+SpamCallback = Callable[[SlashingEvidence], None]
+
+
+@dataclass
+class RlnMessageValidator:
+    """Stateful per-router validator combining all Section III checks."""
+
+    verifier: RlnVerifier
+    epoch_tracker: EpochTracker
+    nullifier_map: NullifierMap
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    spam_callbacks: List[SpamCallback] = field(default_factory=list)
+
+    def on_spam(self, callback: SpamCallback) -> None:
+        self.spam_callbacks.append(callback)
+
+    def validate_bytes(self, raw_signal: Optional[bytes]) -> ValidationReport:
+        """Validate a serialized signal (``None`` = missing proof field)."""
+        if raw_signal is None:
+            self.metrics.increment("validator.missing_proof")
+            return ValidationReport(ValidationOutcome.REJECT_MALFORMED)
+        try:
+            signal = RlnSignal.from_bytes(raw_signal)
+        except SerializationError:
+            self.metrics.increment("validator.malformed")
+            return ValidationReport(ValidationOutcome.REJECT_MALFORMED)
+        return self.validate(signal)
+
+    def validate(self, signal: RlnSignal) -> ValidationReport:
+        # 1. cryptographic checks (proof, root, share binding).
+        check = self.verifier.check(signal)
+        if check is not SignalCheck.VALID:
+            self.metrics.increment(f"validator.{check.value}")
+            return ValidationReport(
+                ValidationOutcome.REJECT_INVALID_PROOF, signal
+            )
+        # 2. epoch window.
+        if not self.epoch_tracker.is_within_threshold(
+            signal.epoch, self.nullifier_map.thr
+        ):
+            self.metrics.increment("validator.bad_epoch")
+            return ValidationReport(ValidationOutcome.REJECT_BAD_EPOCH, signal)
+        # 3. nullifier map.
+        result, prior = self.nullifier_map.observe(signal)
+        if result is NullifierCheck.DUPLICATE:
+            self.metrics.increment("validator.duplicates")
+            return ValidationReport(ValidationOutcome.IGNORE_DUPLICATE, signal)
+        if result is NullifierCheck.DOUBLE_SIGNAL:
+            assert prior is not None
+            evidence = detect_double_signal(prior.signal, signal)
+            self.metrics.increment("validator.double_signals")
+            if evidence is not None:
+                for callback in self.spam_callbacks:
+                    callback(evidence)
+            return ValidationReport(
+                ValidationOutcome.DROP_SPAM, signal, evidence
+            )
+        self.metrics.increment("validator.relayed")
+        return ValidationReport(ValidationOutcome.RELAY, signal)
+
+    def housekeeping(self) -> int:
+        """Prune the nullifier map to the current acceptance window."""
+        return self.nullifier_map.prune(self.epoch_tracker.current_epoch)

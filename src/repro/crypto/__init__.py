@@ -1,0 +1,53 @@
+"""Cryptographic substrates: field, hashes, trees, sharing, zkSNARKs."""
+
+from .field import Fr, fr_product, fr_sum
+from .hashing import (
+    available_backends,
+    get_hash_backend,
+    hash1,
+    hash2,
+    hash_bytes_to_field,
+    set_hash_backend,
+)
+from .keys import IdentityCommitment, IdentitySecret, MembershipKeyPair
+from .merkle import MerkleProof, MerkleTree, zero_hashes
+from .merkle_optimized import FrontierMerkleTree
+from .poseidon import poseidon_hash, poseidon_hash1, poseidon_hash2
+from .shamir import (
+    Share,
+    evaluate_polynomial,
+    make_shares,
+    reconstruct_secret,
+    recover_secret_from_double_signal,
+    rln_line_coefficient,
+    rln_share,
+)
+
+__all__ = [
+    "Fr",
+    "fr_sum",
+    "fr_product",
+    "hash1",
+    "hash2",
+    "hash_bytes_to_field",
+    "set_hash_backend",
+    "get_hash_backend",
+    "available_backends",
+    "IdentitySecret",
+    "IdentityCommitment",
+    "MembershipKeyPair",
+    "MerkleTree",
+    "MerkleProof",
+    "FrontierMerkleTree",
+    "zero_hashes",
+    "poseidon_hash",
+    "poseidon_hash1",
+    "poseidon_hash2",
+    "Share",
+    "make_shares",
+    "evaluate_polynomial",
+    "reconstruct_secret",
+    "rln_line_coefficient",
+    "rln_share",
+    "recover_secret_from_double_signal",
+]

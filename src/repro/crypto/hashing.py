@@ -1,0 +1,93 @@
+"""Hash backends and domain-separated helpers.
+
+Two interchangeable field-hash backends:
+
+* ``"poseidon"`` — the genuine Poseidon permutation
+  (:mod:`repro.crypto.poseidon`); circuit-faithful but ~100x slower in
+  pure Python.
+* ``"blake2b"`` — BLAKE2b reduced into the field; used by default in
+  large network simulations where thousands of Merkle inserts and signal
+  verifications happen per run.
+
+Both backends expose the same arity-1/arity-2 API, so every layer above
+(Merkle trees, nullifiers, Shamir coefficient derivation) is
+backend-independent. Tests assert that the protocol state machine
+produces identical *decisions* under either backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, Sequence
+
+from ..errors import FieldError
+from .field import Fr
+from .poseidon import poseidon_hash
+
+#: Signature shared by all field-hash backends.
+FieldHash = Callable[[Sequence[Fr]], Fr]
+
+
+def blake2b_field_hash(inputs: Sequence[Fr]) -> Fr:
+    """Hash 1 or 2 field elements via BLAKE2b with arity domain separation."""
+    n = len(inputs)
+    if n not in (1, 2):
+        raise FieldError(f"blake2b_field_hash takes 1 or 2 inputs, got {n}")
+    hasher = hashlib.blake2b(digest_size=32, person=b"repro-fr" + bytes([n]))
+    for element in inputs:
+        hasher.update(Fr(element).to_bytes())
+    return Fr.reduce_bytes(hasher.digest())
+
+
+_BACKENDS: Dict[str, FieldHash] = {
+    "poseidon": poseidon_hash,
+    "blake2b": blake2b_field_hash,
+}
+
+_active_backend_name = "blake2b"
+
+
+def available_backends() -> tuple:
+    """Names of the registered field-hash backends."""
+    return tuple(sorted(_BACKENDS))
+
+
+def set_hash_backend(name: str) -> None:
+    """Select the process-wide field-hash backend.
+
+    Changing backends invalidates previously computed commitments and
+    tree roots, so switch only at the start of a simulation.
+    """
+    global _active_backend_name
+    if name not in _BACKENDS:
+        raise FieldError(
+            f"unknown hash backend {name!r}; available: {available_backends()}"
+        )
+    _active_backend_name = name
+
+
+def get_hash_backend() -> str:
+    """Name of the currently active backend."""
+    return _active_backend_name
+
+
+def hash1(x: Fr) -> Fr:
+    """Domain-separated arity-1 field hash under the active backend."""
+    return _BACKENDS[_active_backend_name]([Fr(x)])
+
+
+def hash2(x: Fr, y: Fr) -> Fr:
+    """Domain-separated arity-2 field hash under the active backend."""
+    return _BACKENDS[_active_backend_name]([Fr(x), Fr(y)])
+
+
+def hash_bytes_to_field(data: bytes, domain: str = "msg") -> Fr:
+    """Map an arbitrary byte string (e.g. a message payload) into Fr.
+
+    RLN evaluates the Shamir line at ``x = H(m)``; this is that ``H``.
+    """
+    hasher = hashlib.blake2b(digest_size=32)
+    hasher.update(domain.encode())
+    hasher.update(b"\x00")
+    hasher.update(data)
+    return Fr.reduce_bytes(hasher.digest())

@@ -1,0 +1,190 @@
+"""Fixed-depth incremental Merkle tree with full node storage.
+
+This is the *naive* membership-tree store the paper quotes 67 MB for at
+depth 20: every internal node of the fixed-shape tree is materialised (or
+defaulted to a precomputed zero-subtree hash). It supports:
+
+* append-only insertion of identity commitments (leaves),
+* leaf overwrite (member deletion sets the leaf back to zero),
+* authentication-path extraction for any leaf (needed by provers),
+* root queries and proof verification.
+
+The storage-optimized variant from reference [9] of the paper lives in
+:mod:`repro.crypto.merkle_optimized`; both produce identical roots, which
+a property test asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import MerkleError
+from .field import Fr
+from .hashing import hash2
+
+
+def zero_hashes(depth: int) -> List[Fr]:
+    """Zero-subtree digests ``z[0] = 0``, ``z[i+1] = H(z[i], z[i])``.
+
+    ``z[i]`` is the root of an empty subtree of height ``i``.
+    """
+    zeros = [Fr.zero()]
+    for _ in range(depth):
+        zeros.append(hash2(zeros[-1], zeros[-1]))
+    return zeros
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Authentication path for one leaf.
+
+    ``siblings[i]`` is the sibling digest at height ``i`` and
+    ``path_bits[i]`` is 1 when the leaf-side node is the *right* child at
+    that height (i.e. bit ``i`` of the leaf index).
+    """
+
+    leaf: Fr
+    leaf_index: int
+    siblings: Tuple[Fr, ...]
+    path_bits: Tuple[int, ...]
+
+    @property
+    def depth(self) -> int:
+        return len(self.siblings)
+
+    def compute_root(self) -> Fr:
+        """Fold the path back up to the root."""
+        node = self.leaf
+        for bit, sibling in zip(self.path_bits, self.siblings):
+            if bit:
+                node = hash2(sibling, node)
+            else:
+                node = hash2(node, sibling)
+        return node
+
+    def verify(self, root: Fr) -> bool:
+        """Check this path authenticates ``leaf`` under ``root``."""
+        return self.compute_root() == root
+
+
+class MerkleTree:
+    """Append-only fixed-depth Merkle tree storing every touched node.
+
+    Nodes are kept in a dict keyed by ``(height, index)``; untouched
+    nodes implicitly hold the zero-subtree digest for their height, so an
+    empty tree costs nothing but a fully populated depth-20 tree stores
+    2^21 - 1 field elements (~67 MB at 32 B each — the paper's figure).
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise MerkleError("tree depth must be at least 1")
+        self.depth = depth
+        self.capacity = 1 << depth
+        self._zeros = zero_hashes(depth)
+        self._nodes: Dict[Tuple[int, int], Fr] = {}
+        self._next_index = 0
+
+    # -- node access --------------------------------------------------------
+
+    def _get_node(self, height: int, index: int) -> Fr:
+        return self._nodes.get((height, index), self._zeros[height])
+
+    @property
+    def root(self) -> Fr:
+        """Digest of the whole tree."""
+        return self._get_node(self.depth, 0)
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of slots ever assigned (includes deleted members)."""
+        return self._next_index
+
+    def leaf(self, index: int) -> Fr:
+        """Current value of leaf ``index`` (zero if never set / deleted)."""
+        self._check_index(index)
+        return self._get_node(0, index)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.capacity:
+            raise MerkleError(
+                f"leaf index {index} out of range for depth-{self.depth} tree"
+            )
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, leaf: Fr) -> int:
+        """Append ``leaf`` at the next free slot; returns its index."""
+        if self._next_index >= self.capacity:
+            raise MerkleError(f"tree is full ({self.capacity} leaves)")
+        index = self._next_index
+        self._set_leaf(index, leaf)
+        self._next_index += 1
+        return index
+
+    def update(self, index: int, leaf: Fr) -> None:
+        """Overwrite an existing slot (member deletion writes zero)."""
+        self._check_index(index)
+        if index >= self._next_index:
+            raise MerkleError(f"leaf {index} has not been inserted yet")
+        self._set_leaf(index, leaf)
+
+    def delete(self, index: int) -> None:
+        """Reset slot ``index`` to the zero leaf."""
+        self.update(index, Fr.zero())
+
+    def _set_leaf(self, index: int, leaf: Fr) -> None:
+        self._nodes[(0, index)] = Fr(leaf)
+        node_index = index
+        for height in range(1, self.depth + 1):
+            node_index //= 2
+            left = self._get_node(height - 1, 2 * node_index)
+            right = self._get_node(height - 1, 2 * node_index + 1)
+            self._nodes[(height, node_index)] = hash2(left, right)
+
+    # -- proofs -----------------------------------------------------------------
+
+    def proof(self, index: int) -> MerkleProof:
+        """Authentication path for leaf ``index``."""
+        self._check_index(index)
+        siblings: List[Fr] = []
+        bits: List[int] = []
+        node_index = index
+        for height in range(self.depth):
+            bit = node_index & 1
+            sibling_index = node_index ^ 1
+            siblings.append(self._get_node(height, sibling_index))
+            bits.append(bit)
+            node_index //= 2
+        return MerkleProof(
+            leaf=self.leaf(index),
+            leaf_index=index,
+            siblings=tuple(siblings),
+            path_bits=tuple(bits),
+        )
+
+    # -- storage accounting --------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        """Bytes required to persist every materialised node (32 B each)."""
+        return 32 * len(self._nodes)
+
+    def full_storage_bytes(self) -> int:
+        """Bytes for a *fully materialised* depth-d tree: (2^(d+1)-1) * 32.
+
+        This is the figure the paper quotes (67 MB at depth 20).
+        """
+        return 32 * ((1 << (self.depth + 1)) - 1)
+
+    def leaves(self) -> Sequence[Fr]:
+        """All assigned leaf values, in insertion order."""
+        return [self.leaf(i) for i in range(self._next_index)]
+
+    def find_leaf(self, leaf: Fr) -> Optional[int]:
+        """Index of the first occurrence of ``leaf`` among assigned slots."""
+        target = Fr(leaf)
+        for i in range(self._next_index):
+            if self.leaf(i) == target:
+                return i
+        return None

@@ -1,0 +1,73 @@
+"""Frontier-only Merkle tree — the storage optimization of paper ref [9].
+
+Reference [9] of the paper ("Optimization of Merkle tree storage",
+vacp2p/research) observes that an *append-only* membership tree can be
+maintained with only ``depth`` stored digests: the "frontier" of filled
+left siblings, exactly as in the well-known incremental Merkle tree used
+by Tornado Cash / Semaphore. The paper quotes the resulting saving at
+depth 20: 67 MB (full node store) down to 0.128 KB (4 x 32 B frontier
+words at the quoted parameterisation; our frontier stores ``depth``
+words, i.e. 0.64 KB at depth 20 — same order, see EXPERIMENTS.md).
+
+The trade-off is that the frontier tree supports **insertion and root
+queries only** — no arbitrary updates and no proof extraction. That is
+sufficient for a *routing-only* peer, which merely needs the current root
+to verify membership proofs; publishing peers keep the full tree (or
+fetch paths from an archival peer). Both stores produce identical roots
+for identical insertion sequences, which property tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import MerkleError
+from .field import Fr
+from .hashing import hash2
+from .merkle import zero_hashes
+
+
+class FrontierMerkleTree:
+    """O(depth) storage incremental Merkle tree (insert + root only)."""
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise MerkleError("tree depth must be at least 1")
+        self.depth = depth
+        self.capacity = 1 << depth
+        self._zeros = zero_hashes(depth)
+        #: ``_frontier[h]`` caches the last *left* node seen at height h.
+        self._frontier: List[Fr] = [Fr.zero()] * depth
+        self._next_index = 0
+        self._root = self._zeros[depth]
+
+    @property
+    def root(self) -> Fr:
+        """Digest of the whole tree."""
+        return self._root
+
+    @property
+    def leaf_count(self) -> int:
+        return self._next_index
+
+    def insert(self, leaf: Fr) -> int:
+        """Append ``leaf``; returns its index. O(depth) time and space."""
+        if self._next_index >= self.capacity:
+            raise MerkleError(f"tree is full ({self.capacity} leaves)")
+        index = self._next_index
+        node = Fr(leaf)
+        node_index = index
+        for height in range(self.depth):
+            if node_index & 1:
+                node = hash2(self._frontier[height], node)
+            else:
+                self._frontier[height] = node
+                node = hash2(node, self._zeros[height])
+            node_index //= 2
+        self._root = node
+        self._next_index += 1
+        return index
+
+    def storage_bytes(self) -> int:
+        """Persistent bytes: the frontier plus the root (32 B words)."""
+        return 32 * (self.depth + 1)

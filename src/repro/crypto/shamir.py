@@ -1,0 +1,114 @@
+"""Shamir secret sharing specialised to the RLN rate-limit line.
+
+RLN enforces "one message per epoch" with a degree-1 Shamir polynomial:
+for a member with secret ``sk`` and epoch (external nullifier) ``e``, the
+line is::
+
+    A(x) = sk + a1 * x        with  a1 = H(sk, e)
+
+Each published message ``m`` reveals the single evaluation
+``(x, y) = (H(m), A(H(m)))``. One point reveals nothing about ``sk``
+(perfect secrecy of Shamir at threshold 2); two points — i.e. two
+*different* messages in the same epoch — determine the line and hence
+``sk = A(0)``, enabling anyone to slash the spammer.
+
+This module provides the general k-of-n machinery (Lagrange interpolation
+at zero) plus RLN-specific helpers, so tests can exercise both the
+protocol path and the general algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import ShamirError
+from .field import Fr
+from .hashing import hash2
+
+
+@dataclass(frozen=True)
+class Share:
+    """A single evaluation ``(x, A(x))`` of the sharing polynomial."""
+
+    x: Fr
+    y: Fr
+
+
+def evaluate_polynomial(coefficients: Sequence[Fr], x: Fr) -> Fr:
+    """Horner evaluation; ``coefficients[0]`` is the constant term."""
+    result = Fr.zero()
+    for coefficient in reversed(coefficients):
+        result = result * x + coefficient
+    return result
+
+
+def make_shares(
+    secret: Fr, coefficients: Sequence[Fr], xs: Iterable[Fr]
+) -> List[Share]:
+    """Share ``secret`` with the given higher-order coefficients.
+
+    The polynomial is ``secret + coefficients[0]*x + coefficients[1]*x^2 ...``.
+    """
+    poly = [Fr(secret), *[Fr(c) for c in coefficients]]
+    shares = []
+    for x in xs:
+        x = Fr(x)
+        if x.is_zero():
+            raise ShamirError("share abscissa x = 0 would leak the secret")
+        shares.append(Share(x=x, y=evaluate_polynomial(poly, x)))
+    return shares
+
+
+def reconstruct_secret(shares: Sequence[Share]) -> Fr:
+    """Lagrange-interpolate the polynomial at zero from ``k`` shares.
+
+    The caller must supply exactly as many shares as the polynomial has
+    coefficients (k = degree + 1); for RLN that is two.
+    """
+    if len(shares) < 2:
+        raise ShamirError("need at least two shares to reconstruct")
+    xs = [int(s.x) for s in shares]
+    if len(set(xs)) != len(xs):
+        raise ShamirError("shares must have pairwise distinct x coordinates")
+    secret = Fr.zero()
+    for i, share_i in enumerate(shares):
+        numerator = Fr.one()
+        denominator = Fr.one()
+        for j, share_j in enumerate(shares):
+            if i == j:
+                continue
+            numerator = numerator * share_j.x
+            denominator = denominator * (share_j.x - share_i.x)
+        secret = secret + share_i.y * (numerator / denominator)
+    return secret
+
+
+# -- RLN-specific helpers -------------------------------------------------------
+
+
+def rln_line_coefficient(secret: Fr, external_nullifier: Fr) -> Fr:
+    """The epoch-bound slope ``a1 = H(sk, e)`` of the RLN line."""
+    return hash2(Fr(secret), Fr(external_nullifier))
+
+
+def rln_share(secret: Fr, external_nullifier: Fr, x: Fr) -> Share:
+    """Evaluate the member's RLN line at ``x = H(m)``."""
+    a1 = rln_line_coefficient(secret, external_nullifier)
+    return make_shares(secret, [a1], [x])[0]
+
+
+def recover_secret_from_double_signal(
+    share_a: Share, share_b: Share
+) -> Fr:
+    """Reconstruct ``sk`` from the two shares leaked by double-signaling.
+
+    Raises :class:`ShamirError` when the shares coincide (identical
+    message hashes do not constitute a rate violation — it is the same
+    signal seen twice).
+    """
+    if share_a.x == share_b.x:
+        raise ShamirError(
+            "shares have the same x coordinate; not a double-signal"
+        )
+    return reconstruct_secret([share_a, share_b])

@@ -1,0 +1,138 @@
+"""R1CS gadgets: Poseidon permutation, Merkle path, selectors.
+
+A *gadget* synthesises the constraints of one reusable sub-relation into
+a :class:`~repro.crypto.zksnark.r1cs.ConstraintSystem` and returns the
+output wires as linear combinations. The gadgets here are exactly the
+building blocks of the RLN circuit: the Poseidon hash (for commitments,
+nullifiers and tree nodes), the Merkle authentication path, and the
+conditional swap used at each tree level.
+
+Constraint counts (with the circomlib round schedule):
+
+* ``x^5`` S-box — 3 constraints (x², x⁴, x⁵);
+* Poseidon t=3 — 8 full rounds x 3 S-boxes + 57 partial rounds x 1 S-box
+  = 81 S-boxes = 243 constraints (all matrix/constant work is linear and
+  free);
+* Poseidon t=2 — 8x2 + 56 = 72 S-boxes = 216 constraints;
+* Merkle level — 1 boolean + 1 swap + 243 (t=3 hash) = 245 constraints;
+  a depth-20 path costs 4 900 constraints.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ...errors import CircuitError
+from ..field import Fr
+from ..poseidon import poseidon_parameters
+from .r1cs import ConstraintSystem, LCLike, LinearCombination
+
+
+def sbox_gadget(
+    cs: ConstraintSystem, x: LCLike, annotation: str = "sbox"
+) -> LinearCombination:
+    """``x -> x^5`` with three multiplication constraints."""
+    x = LinearCombination.coerce(x)
+    x2 = cs.mul(x, x, f"{annotation}.x2")
+    x4 = cs.mul(x2, x2, f"{annotation}.x4")
+    x5 = cs.mul(x4, x, f"{annotation}.x5")
+    return x5.lc()
+
+
+def poseidon_permutation_gadget(
+    cs: ConstraintSystem,
+    state: Sequence[LCLike],
+    annotation: str = "poseidon",
+) -> List[LinearCombination]:
+    """Synthesise the full Poseidon permutation over ``state`` wires."""
+    t = len(state)
+    params = poseidon_parameters(t)
+    wires = [LinearCombination.coerce(s) for s in state]
+
+    half_full = params.full_rounds // 2
+    partial_start = half_full
+    partial_end = half_full + params.partial_rounds
+
+    for round_index in range(params.total_rounds):
+        base = round_index * t
+        wires = [
+            wire + params.round_constants[base + i]
+            for i, wire in enumerate(wires)
+        ]
+        if partial_start <= round_index < partial_end:
+            wires[0] = sbox_gadget(
+                cs, wires[0], f"{annotation}.r{round_index}.s0"
+            )
+        else:
+            wires = [
+                sbox_gadget(cs, wire, f"{annotation}.r{round_index}.s{i}")
+                for i, wire in enumerate(wires)
+            ]
+        wires = [
+            sum(
+                (wires[j] * params.mds[i][j] for j in range(t)),
+                LinearCombination(),
+            )
+            for i in range(t)
+        ]
+    return wires
+
+
+def poseidon_hash_gadget(
+    cs: ConstraintSystem,
+    inputs: Sequence[LCLike],
+    annotation: str = "hash",
+) -> LinearCombination:
+    """Fixed-arity Poseidon sponge: domain tag ‖ inputs, one permutation."""
+    n = len(inputs)
+    if n not in (1, 2):
+        raise CircuitError(f"poseidon_hash_gadget takes 1 or 2 inputs, got {n}")
+    state: List[LCLike] = [LinearCombination.coerce(Fr(n)), *inputs]
+    return poseidon_permutation_gadget(cs, state, annotation)[0]
+
+
+def conditional_swap_gadget(
+    cs: ConstraintSystem,
+    bit: LCLike,
+    left_if_zero: LCLike,
+    right_if_zero: LCLike,
+    annotation: str = "swap",
+) -> Tuple[LinearCombination, LinearCombination]:
+    """Return ``(l, r)`` equal to the inputs when ``bit = 0``, swapped
+    when ``bit = 1`` — one multiplication constraint.
+
+    ``delta = bit * (right - left)``, then ``l = left + delta`` and
+    ``r = right - delta``.
+    """
+    bit = LinearCombination.coerce(bit)
+    a = LinearCombination.coerce(left_if_zero)
+    b = LinearCombination.coerce(right_if_zero)
+    delta = cs.mul(bit, b - a, f"{annotation}.delta").lc()
+    return a + delta, b - delta
+
+
+def merkle_path_gadget(
+    cs: ConstraintSystem,
+    leaf: LCLike,
+    path_bits: Sequence[LCLike],
+    siblings: Sequence[LCLike],
+    annotation: str = "merkle",
+) -> LinearCombination:
+    """Fold an authentication path up to the root wire.
+
+    ``path_bits[i] = 1`` means the running node is the right child at
+    height ``i``. Each bit is constrained boolean.
+    """
+    if len(path_bits) != len(siblings):
+        raise CircuitError("path_bits and siblings must have equal length")
+    node = LinearCombination.coerce(leaf)
+    for height, (bit, sibling) in enumerate(zip(path_bits, siblings)):
+        bit = LinearCombination.coerce(bit)
+        cs.enforce_boolean(bit, f"{annotation}.h{height}.bit")
+        left, right = conditional_swap_gadget(
+            cs, bit, node, sibling, f"{annotation}.h{height}"
+        )
+        node = poseidon_hash_gadget(
+            cs, [left, right], f"{annotation}.h{height}.hash"
+        )
+    return node

@@ -1,0 +1,344 @@
+"""Single-node blockchain simulation.
+
+Provides what Waku-RLN-Relay needs from Ethereum and nothing more:
+
+* externally-owned accounts with ether balances;
+* contracts (Python objects) invoked through metered transactions;
+* a mempool and a block producer with a configurable block interval,
+  so the "messages must be mined before being visible" comparison of
+  Section III can be simulated;
+* an append-only event log that peers poll to synchronise their local
+  membership trees ("the membership contract emits update events").
+
+Two execution styles are supported: :meth:`Blockchain.transact` queues a
+transaction and executes it at the next :meth:`mine_block` (faithful
+latency), while :meth:`Blockchain.call_now` mines immediately (handy in
+unit tests and gas measurements, where only costs matter).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import ChainError, ContractError
+from .gas import DEFAULT_GAS_SCHEDULE, GasMeter, GasSchedule
+
+
+@dataclass
+class Account:
+    """An externally-owned account."""
+
+    address: str
+    balance: int = 0
+    nonce: int = 0
+
+
+@dataclass(frozen=True)
+class Event:
+    """One contract log entry."""
+
+    name: str
+    args: Dict[str, Any]
+    contract: str
+    block_number: int
+    log_index: int
+
+
+@dataclass
+class Receipt:
+    """Outcome of one executed transaction."""
+
+    tx_hash: int
+    success: bool
+    gas_used: int
+    block_number: int
+    return_value: Any = None
+    error: Optional[str] = None
+    events: Tuple[Event, ...] = ()
+
+
+@dataclass
+class Transaction:
+    """A queued contract call."""
+
+    sender: str
+    contract: str
+    method: str
+    args: Tuple[Any, ...]
+    value: int = 0
+    calldata_bytes: int = 68
+    tx_hash: int = field(default_factory=itertools.count().__next__)
+    #: Simulation time when the tx entered the mempool (for latency stats).
+    submitted_at: float = 0.0
+
+
+class TxContext:
+    """Execution context handed to contract methods.
+
+    Wraps the gas meter, value transfer and event emission so contract
+    code reads like Solidity: ``ctx.sload``, ``ctx.sstore``,
+    ``ctx.emit``, ``ctx.transfer``, ``ctx.burn``, ``ctx.require``.
+    """
+
+    def __init__(
+        self,
+        chain: "Blockchain",
+        contract: "Contract",
+        sender: str,
+        value: int,
+        meter: GasMeter,
+    ) -> None:
+        self.chain = chain
+        self.contract = contract
+        self.sender = sender
+        self.value = value
+        self.meter = meter
+        self.events: List[Event] = []
+
+    # -- storage ------------------------------------------------------------
+
+    def sload(self, slot: Any) -> Any:
+        self.meter.charge_sload((self.contract.address, slot))
+        return self.contract.storage.get(slot, 0)
+
+    def sstore(self, slot: Any, value: Any) -> None:
+        was = self.contract.storage.get(slot, 0)
+        was_zero = was == 0
+        now_zero = value == 0
+        self.meter.charge_sstore((self.contract.address, slot), was_zero, now_zero)
+        if now_zero:
+            self.contract.storage.pop(slot, None)
+        else:
+            self.contract.storage[slot] = value
+
+    # -- environment -----------------------------------------------------------
+
+    def keccak(self, data_bytes: int) -> None:
+        """Charge for one keccak over ``data_bytes`` bytes."""
+        self.meter.charge(self.meter.schedule.keccak_cost(data_bytes))
+
+    def poseidon(self) -> None:
+        """Charge for one zk-friendly (circuit) hash evaluated on-chain."""
+        self.meter.charge(self.meter.schedule.poseidon_hash)
+
+    def emit(self, name: str, **args: Any) -> None:
+        data_bytes = 32 * len(args)
+        self.meter.charge(self.meter.schedule.log_cost(1 + len(args), data_bytes))
+        self.events.append(
+            Event(
+                name=name,
+                args=args,
+                contract=self.contract.address,
+                block_number=self.chain.block_number + 1,
+                log_index=-1,  # assigned when the block is sealed
+            )
+        )
+
+    def transfer(self, to: str, amount: int) -> None:
+        """Move ether from the contract's balance to ``to``."""
+        self.meter.charge(self.meter.schedule.call_value_transfer)
+        if self.contract.balance < amount:
+            raise ContractError("contract balance too low for transfer")
+        self.contract.balance -= amount
+        self.chain.get_account(to).balance += amount
+
+    def burn(self, amount: int) -> None:
+        """Destroy ether held by the contract (send to the zero address)."""
+        if self.contract.balance < amount:
+            raise ContractError("contract balance too low for burn")
+        self.contract.balance -= amount
+        self.chain.burnt_wei += amount
+
+    def require(self, condition: bool, message: str) -> None:
+        if not condition:
+            raise ContractError(message)
+
+
+class Contract:
+    """Base class for simulated contracts.
+
+    Subclasses implement public methods taking ``(ctx, *args)``; storage
+    access must go through ``ctx`` so gas is metered.
+    """
+
+    def __init__(self, address: str) -> None:
+        self.address = address
+        self.storage: Dict[Any, Any] = {}
+        self.balance = 0
+
+
+@dataclass
+class Block:
+    number: int
+    timestamp: float
+    receipts: Tuple[Receipt, ...]
+
+
+class Blockchain:
+    """The simulated chain: accounts, contracts, mempool, blocks, logs."""
+
+    def __init__(
+        self,
+        schedule: GasSchedule = DEFAULT_GAS_SCHEDULE,
+        block_interval: float = 13.0,
+    ) -> None:
+        self.schedule = schedule
+        self.block_interval = block_interval
+        self.accounts: Dict[str, Account] = {}
+        self.contracts: Dict[str, Contract] = {}
+        self.mempool: List[Transaction] = []
+        self.blocks: List[Block] = []
+        self.event_log: List[Event] = []
+        self.receipts: Dict[int, Receipt] = {}
+        self.burnt_wei = 0
+
+    # -- accounts ------------------------------------------------------------
+
+    def create_account(self, address: str, balance: int = 0) -> Account:
+        if address in self.accounts:
+            raise ChainError(f"account {address!r} already exists")
+        account = Account(address=address, balance=balance)
+        self.accounts[address] = account
+        return account
+
+    def get_account(self, address: str) -> Account:
+        if address not in self.accounts:
+            raise ChainError(f"unknown account {address!r}")
+        return self.accounts[address]
+
+    # -- contracts -------------------------------------------------------------
+
+    def deploy(self, contract: Contract) -> Contract:
+        if contract.address in self.contracts:
+            raise ChainError(f"contract {contract.address!r} already deployed")
+        self.contracts[contract.address] = contract
+        return contract
+
+    # -- transaction submission ---------------------------------------------------
+
+    @property
+    def block_number(self) -> int:
+        return len(self.blocks)
+
+    def transact(
+        self,
+        sender: str,
+        contract: str,
+        method: str,
+        *args: Any,
+        value: int = 0,
+        calldata_bytes: int = 68,
+        submitted_at: float = 0.0,
+    ) -> Transaction:
+        """Queue a transaction; it executes at the next mined block."""
+        if contract not in self.contracts:
+            raise ChainError(f"unknown contract {contract!r}")
+        self.get_account(sender)  # must exist
+        tx = Transaction(
+            sender=sender,
+            contract=contract,
+            method=method,
+            args=args,
+            value=value,
+            calldata_bytes=calldata_bytes,
+            submitted_at=submitted_at,
+        )
+        self.mempool.append(tx)
+        return tx
+
+    def call_now(
+        self,
+        sender: str,
+        contract: str,
+        method: str,
+        *args: Any,
+        value: int = 0,
+        calldata_bytes: int = 68,
+    ) -> Receipt:
+        """Submit and immediately mine a single-transaction block."""
+        tx = self.transact(
+            sender, contract, method, *args,
+            value=value, calldata_bytes=calldata_bytes,
+        )
+        self.mine_block()
+        return self.receipts[tx.tx_hash]
+
+    # -- block production ------------------------------------------------------------
+
+    def mine_block(self, timestamp: Optional[float] = None) -> Block:
+        """Execute every pending transaction into a new block."""
+        if timestamp is None:
+            timestamp = self.block_number * self.block_interval
+        receipts = tuple(self._execute(tx) for tx in self.mempool)
+        self.mempool.clear()
+        block = Block(
+            number=self.block_number, timestamp=timestamp, receipts=receipts
+        )
+        self.blocks.append(block)
+        return block
+
+    def _execute(self, tx: Transaction) -> Receipt:
+        contract = self.contracts[tx.contract]
+        sender = self.get_account(tx.sender)
+        meter = GasMeter(self.schedule)
+        meter.charge(self.schedule.tx_base)
+        meter.charge(self.schedule.calldata_cost(tx.calldata_bytes))
+
+        ctx = TxContext(self, contract, tx.sender, tx.value, meter)
+        handler: Optional[Callable] = getattr(contract, tx.method, None)
+        success = True
+        return_value = None
+        error = None
+        balance_before = sender.balance
+        contract_balance_before = contract.balance
+        burnt_before = self.burnt_wei
+        storage_before = dict(contract.storage)
+        try:
+            if handler is None or tx.method.startswith("_"):
+                raise ContractError(f"no such method {tx.method!r}")
+            if sender.balance < tx.value:
+                raise ContractError("insufficient balance for msg.value")
+            sender.balance -= tx.value
+            contract.balance += tx.value
+            return_value = handler(ctx, *tx.args)
+        except ContractError as exc:
+            # Revert: restore balances and storage, keep the gas.
+            success = False
+            error = str(exc)
+            sender.balance = balance_before
+            contract.balance = contract_balance_before
+            self.burnt_wei = burnt_before
+            contract.storage.clear()
+            contract.storage.update(storage_before)
+            ctx.events.clear()
+        gas_used = meter.finalize()
+        events = []
+        for event in ctx.events:
+            sealed = Event(
+                name=event.name,
+                args=event.args,
+                contract=event.contract,
+                block_number=self.block_number,
+                log_index=len(self.event_log),
+            )
+            self.event_log.append(sealed)
+            events.append(sealed)
+        receipt = Receipt(
+            tx_hash=tx.tx_hash,
+            success=success,
+            gas_used=gas_used,
+            block_number=self.block_number,
+            return_value=return_value,
+            error=error,
+            events=tuple(events),
+        )
+        self.receipts[tx.tx_hash] = receipt
+        return receipt
+
+    # -- log access -----------------------------------------------------------------
+
+    def events_since(self, log_index: int) -> List[Event]:
+        """Events with ``log_index >= log_index`` (peer sync polling)."""
+        return self.event_log[log_index:]

@@ -1,0 +1,192 @@
+"""The two membership-contract designs compared in the paper.
+
+* :class:`MembershipRegistry` — the **paper's** design (Section III): the
+  contract is "merely a registry keeping an ordered list of users public
+  keys"; the Merkle tree lives off-chain with the peers. Registration
+  and deletion touch a *constant* number of storage slots.
+
+* :class:`OnChainTreeContract` — the **original RLN** design the paper
+  optimizes away: the whole membership tree is contract storage, so each
+  registration/deletion rewrites one node per tree level — a
+  *logarithmic* number of cold SSTOREs. Benchmarks E5 regenerate the
+  "order of magnitude" gas comparison from these two classes.
+
+Both enforce staking (Sybil mitigation) and implement slashing: anyone
+who submits a member's reconstructed secret key removes the member,
+burns ``burn_fraction`` of the stake and receives the rest (the paper's
+cryptographically guaranteed economic incentive).
+"""
+
+from __future__ import annotations
+
+from ..constants import (
+    DEFAULT_MEMBERSHIP_STAKE_WEI,
+    DEFAULT_MERKLE_DEPTH,
+    DEFAULT_SLASH_BURN_FRACTION,
+)
+from ..crypto.field import Fr
+from ..crypto.hashing import hash1, hash2
+from ..crypto.merkle import zero_hashes
+from .chain import Contract, TxContext
+
+
+class MembershipContractBase(Contract):
+    """Staking, slashing economics and views shared by both designs."""
+
+    def __init__(
+        self,
+        address: str,
+        stake_wei: int = DEFAULT_MEMBERSHIP_STAKE_WEI,
+        burn_fraction: float = DEFAULT_SLASH_BURN_FRACTION,
+    ) -> None:
+        super().__init__(address)
+        self.stake_wei = stake_wei
+        self.burn_fraction = burn_fraction
+
+    def _check_stake(self, ctx: TxContext) -> None:
+        ctx.require(
+            ctx.value >= self.stake_wei,
+            f"stake of {self.stake_wei} wei required, got {ctx.value}",
+        )
+
+    def _payout_slash(self, ctx: TxContext) -> None:
+        """Burn part of the slashed stake, reward the reporter with the rest."""
+        burn = int(self.stake_wei * self.burn_fraction)
+        reward = self.stake_wei - burn
+        ctx.burn(burn)
+        ctx.transfer(ctx.sender, reward)
+
+    # -- gas-free views (off-chain reads) -------------------------------------
+
+    def member_count(self) -> int:
+        return self.storage.get("count", 0)
+
+
+class MembershipRegistry(MembershipContractBase):
+    """Paper design: flat ordered list of public keys; tree off-chain.
+
+    Storage layout::
+
+        "count"              -> number of slots ever assigned
+        ("member", i)        -> pk at slot i (0 when slashed)
+        ("index_of", pk)     -> i + 1 (0 means not a member)
+
+    ``register`` and ``slash`` each touch a constant number of slots,
+    independent of the group size — the paper's constant-complexity
+    claim.
+    """
+
+    def register(self, ctx: TxContext, pk: int) -> int:
+        """Join the group by staking; returns the assigned leaf index."""
+        self._check_stake(ctx)
+        ctx.require(pk != 0, "pk must be non-zero")
+        existing = ctx.sload(("index_of", pk))
+        ctx.require(existing == 0, "pk already registered")
+        index = ctx.sload("count")
+        ctx.sstore(("member", index), pk)
+        ctx.sstore(("index_of", pk), index + 1)
+        ctx.sstore("count", index + 1)
+        ctx.emit("MemberRegistered", pk=pk, index=index)
+        return index
+
+    def slash(self, ctx: TxContext, sk: int) -> int:
+        """Remove the member whose secret key is ``sk``; pay the reporter.
+
+        The contract recomputes ``pk = H(sk)`` (one hash) and needs no
+        tree update — deletion is the same constant-slot pattern as
+        registration.
+        """
+        ctx.poseidon()  # pk = H(sk) uses the circuit hash
+        pk = int(hash1(Fr(sk)))
+        stored = ctx.sload(("index_of", pk))
+        ctx.require(stored != 0, "unknown member")
+        index = stored - 1
+        ctx.sstore(("member", index), 0)
+        ctx.sstore(("index_of", pk), 0)
+        self._payout_slash(ctx)
+        ctx.emit("MemberRemoved", pk=pk, index=index)
+        return index
+
+    def is_member(self, pk: int) -> bool:
+        """Gas-free view used by off-chain tooling."""
+        return self.storage.get(("index_of", pk), 0) != 0
+
+
+class OnChainTreeContract(MembershipContractBase):
+    """Original RLN design: the Merkle tree is contract storage.
+
+    Every insertion/deletion recomputes the root path: ``depth`` hashes,
+    ``depth`` sibling SLOADs and ``depth + 1`` SSTOREs — logarithmic in
+    the group capacity, which is exactly the cost the paper's registry
+    design eliminates.
+
+    Storage layout::
+
+        "count"          -> number of slots ever assigned
+        ("node", h, i)   -> tree node at height h, index i (0 = zero hash)
+        ("index_of", pk) -> i + 1
+        "root"           -> current tree root
+    """
+
+    def __init__(
+        self,
+        address: str,
+        depth: int = DEFAULT_MERKLE_DEPTH,
+        stake_wei: int = DEFAULT_MEMBERSHIP_STAKE_WEI,
+        burn_fraction: float = DEFAULT_SLASH_BURN_FRACTION,
+    ) -> None:
+        super().__init__(address, stake_wei, burn_fraction)
+        self.depth = depth
+        #: Precomputed in the contract bytecode — free to read.
+        self._zeros = [int(z) for z in zero_hashes(depth)]
+
+    def register(self, ctx: TxContext, pk: int) -> int:
+        self._check_stake(ctx)
+        ctx.require(pk != 0, "pk must be non-zero")
+        existing = ctx.sload(("index_of", pk))
+        ctx.require(existing == 0, "pk already registered")
+        index = ctx.sload("count")
+        ctx.require(index < (1 << self.depth), "tree is full")
+        self._update_leaf(ctx, index, pk)
+        ctx.sstore(("index_of", pk), index + 1)
+        ctx.sstore("count", index + 1)
+        ctx.emit("MemberRegistered", pk=pk, index=index)
+        return index
+
+    def slash(self, ctx: TxContext, sk: int) -> int:
+        ctx.poseidon()
+        pk = int(hash1(Fr(sk)))
+        stored = ctx.sload(("index_of", pk))
+        ctx.require(stored != 0, "unknown member")
+        index = stored - 1
+        self._update_leaf(ctx, index, 0)  # logarithmic again
+        ctx.sstore(("index_of", pk), 0)
+        self._payout_slash(ctx)
+        ctx.emit("MemberRemoved", pk=pk, index=index)
+        return index
+
+    def _update_leaf(self, ctx: TxContext, index: int, value: int) -> None:
+        """Write a leaf and rehash the path to the root — O(depth) gas."""
+        ctx.sstore(("node", 0, index), value)
+        node = value
+        node_index = index
+        for height in range(self.depth):
+            sibling_index = node_index ^ 1
+            sibling = ctx.sload(("node", height, sibling_index))
+            if sibling == 0:
+                sibling = self._zeros[height]
+            ctx.poseidon()
+            if node_index & 1:
+                node = int(hash2(Fr(sibling), Fr(node)))
+            else:
+                node = int(hash2(Fr(node), Fr(sibling)))
+            node_index //= 2
+            ctx.sstore(("node", height + 1, node_index), node)
+        ctx.sstore("root", node)
+
+    def root(self) -> int:
+        """Gas-free view of the stored root (empty-tree root if unset)."""
+        return self.storage.get("root", self._zeros[self.depth])
+
+    def is_member(self, pk: int) -> bool:
+        return self.storage.get(("index_of", pk), 0) != 0

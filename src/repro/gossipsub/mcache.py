@@ -1,0 +1,87 @@
+"""Message cache (mcache) and seen-cache for the gossipsub router."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from .rpc import GossipMessage
+
+
+class MessageCache:
+    """Sliding-window cache backing IHAVE/IWANT gossip.
+
+    Holds the last ``history_length`` heartbeat windows of messages; the
+    most recent ``gossip_length`` windows are advertised in IHAVE. The
+    router calls :meth:`shift` once per heartbeat.
+    """
+
+    def __init__(self, history_length: int = 5, gossip_length: int = 3) -> None:
+        if gossip_length > history_length:
+            raise ValueError("gossip window cannot exceed history window")
+        self.history_length = history_length
+        self.gossip_length = gossip_length
+        self._messages: Dict[str, GossipMessage] = {}
+        self._windows: deque[List[str]] = deque([[]])
+
+    def put(self, message: GossipMessage) -> None:
+        if message.msg_id in self._messages:
+            return
+        self._messages[message.msg_id] = message
+        self._windows[0].append(message.msg_id)
+
+    def get(self, msg_id: str) -> Optional[GossipMessage]:
+        return self._messages.get(msg_id)
+
+    def gossip_ids(self, topic: str) -> List[str]:
+        """Message IDs for ``topic`` within the gossip window."""
+        out: List[str] = []
+        for window in list(self._windows)[: self.gossip_length]:
+            for msg_id in window:
+                message = self._messages.get(msg_id)
+                if message is not None and message.topic == topic:
+                    out.append(msg_id)
+        return out
+
+    def shift(self) -> None:
+        """Advance one heartbeat; drop messages older than the history."""
+        self._windows.appendleft([])
+        while len(self._windows) > self.history_length:
+            expired = self._windows.pop()
+            for msg_id in expired:
+                self._messages.pop(msg_id, None)
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+
+class SeenCache:
+    """Time-based duplicate suppression.
+
+    Gossip floods produce many duplicate deliveries; each message ID is
+    remembered for ``ttl`` simulated seconds.
+    """
+
+    def __init__(self, ttl: float = 120.0) -> None:
+        self.ttl = ttl
+        self._expiry: "Dict[str, float]" = {}
+
+    def witness(self, msg_id: str, now: float) -> bool:
+        """Record ``msg_id``; returns True when it was seen already."""
+        self._sweep(now)
+        seen = msg_id in self._expiry
+        self._expiry[msg_id] = now + self.ttl
+        return seen
+
+    def __contains__(self, msg_id: str) -> bool:
+        return msg_id in self._expiry
+
+    def _sweep(self, now: float) -> None:
+        if len(self._expiry) < 4096:
+            return
+        expired = [m for m, t in self._expiry.items() if t <= now]
+        for msg_id in expired:
+            del self._expiry[msg_id]
+
+    def __len__(self) -> int:
+        return len(self._expiry)

@@ -1,0 +1,43 @@
+"""GossipSub protocol parameters (libp2p gossipsub v1.1 defaults).
+
+Names follow the specification; values are the spec defaults scaled to
+simulation time (seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GossipSubParams:
+    """Router-level knobs."""
+
+    #: Target mesh degree and its acceptable bounds.
+    d: int = 6
+    d_lo: int = 4
+    d_hi: int = 12
+    #: Peers with score above the median kept during oversubscription prune.
+    d_score: int = 4
+    #: Lazy-gossip degree: how many non-mesh peers receive IHAVE per topic.
+    d_lazy: int = 6
+    heartbeat_interval: float = 1.0
+    #: Message-cache history length and gossip window, in heartbeats.
+    mcache_len: int = 5
+    mcache_gossip: int = 3
+    #: How long message IDs stay in the seen cache (seconds).
+    seen_ttl: float = 120.0
+    #: How long fanout state for an unsubscribed topic is kept (seconds).
+    fanout_ttl: float = 60.0
+    #: Backoff a peer must respect after being PRUNEd from a mesh (seconds).
+    prune_backoff: float = 60.0
+    #: Maximum IWANT requests sent per received IHAVE.
+    max_iwant_per_heartbeat: int = 5000
+    #: When True, publishers send their own messages to every known
+    #: topic peer above the publish threshold, not only the mesh.
+    flood_publish: bool = True
+    #: Fraction of heartbeats that attempt opportunistic grafting when
+    #: the mesh's median score is below the threshold.
+    opportunistic_graft_peers: int = 2
+    #: Max peers offered/accepted via Peer Exchange on PRUNE.
+    px_peers: int = 16

@@ -1,0 +1,496 @@
+"""The GossipSub v1.1 router.
+
+Implements the full message path of the libp2p spec: mesh overlays per
+topic with GRAFT/PRUNE maintenance and backoff, fanout for unsubscribed
+publishers, lazy gossip (IHAVE/IWANT) over a sliding message cache,
+flood-publishing, per-topic validators, duplicate suppression and peer
+scoring with gossip/publish/graylist thresholds and opportunistic
+grafting.
+
+One router instance is one network node; it talks to neighbours through
+:class:`repro.net.network.Network` and drives its heartbeat off the
+shared discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from ..errors import GossipError
+from ..net.network import Network, NodeId
+from ..sim.metrics import MetricsRegistry
+from .mcache import MessageCache, SeenCache
+from .params import GossipSubParams
+from .rpc import GossipMessage, RpcPacket, compute_message_id
+from .score import PeerScoreParams, PeerScoreTracker
+
+
+class ValidationResult(Enum):
+    """Outcome of a topic validator for one message."""
+
+    ACCEPT = "accept"  # deliver + forward
+    IGNORE = "ignore"  # drop silently (no score penalty)
+    REJECT = "reject"  # drop + P4 penalty for the forwarding peer
+
+
+#: Validator callback: (payload, previous_hop) -> ValidationResult.
+Validator = Callable[[Any, NodeId], ValidationResult]
+
+#: Application delivery callback: (topic, payload, msg_id, previous_hop).
+DeliveryCallback = Callable[[str, Any, str, NodeId], None]
+
+
+class GossipSubRouter:
+    """A gossipsub v1.1 node."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        network: Network,
+        params: Optional[GossipSubParams] = None,
+        score_params: Optional[PeerScoreParams] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        processing_delay: float = 0.0,
+    ) -> None:
+        self.node_id = node_id
+        self.network = network
+        self.params = params or GossipSubParams()
+        #: Simulated seconds of local work (e.g. zkSNARK verification)
+        #: applied to each inbound RPC that carries message publications.
+        self.processing_delay = processing_delay
+        self.metrics = metrics if metrics is not None else network.metrics
+        self.scores = PeerScoreTracker(score_params or PeerScoreParams())
+
+        self.subscriptions: Set[str] = set()
+        self.mesh: Dict[str, Set[NodeId]] = {}
+        self.fanout: Dict[str, Set[NodeId]] = {}
+        self._fanout_expiry: Dict[str, float] = {}
+        #: topic -> peers we know are subscribed (learned from RPC).
+        self.topic_peers: Dict[str, Set[NodeId]] = {}
+        self._backoff: Dict[tuple, float] = {}  # (peer, topic) -> expiry
+
+        self.mcache = MessageCache(self.params.mcache_len, self.params.mcache_gossip)
+        self.seen = SeenCache(self.params.seen_ttl)
+        self.validators: Dict[str, Validator] = {}
+        self.delivery_callbacks: List[DeliveryCallback] = []
+        self._heartbeat_cancel: Optional[Callable[[], None]] = None
+
+        network.attach(self)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin heartbeating; call after the topology is wired."""
+        if self._heartbeat_cancel is not None:
+            return
+        self._heartbeat_cancel = self.network.simulator.schedule_periodic(
+            self.params.heartbeat_interval,
+            lambda _sim: self.heartbeat(),
+            label=f"heartbeat:{self.node_id}",
+            jitter=0.1,
+        )
+
+    def stop(self) -> None:
+        if self._heartbeat_cancel is not None:
+            self._heartbeat_cancel()
+            self._heartbeat_cancel = None
+
+    @property
+    def now(self) -> float:
+        return self.network.simulator.now
+
+    def peers(self) -> List[NodeId]:
+        """Current direct neighbours."""
+        return self.network.neighbors(self.node_id)
+
+    # -- subscriptions ------------------------------------------------------------
+
+    def subscribe(self, topic: str) -> None:
+        if topic in self.subscriptions:
+            return
+        self.subscriptions.add(topic)
+        self.mesh.setdefault(topic, set())
+        # Adopt fanout peers if we were publishing to this topic already.
+        for peer in self.fanout.pop(topic, set()):
+            self._graft_peer(peer, topic)
+        self._fanout_expiry.pop(topic, None)
+        self._broadcast_control(RpcPacket(subscribe=[topic]))
+
+    def unsubscribe(self, topic: str) -> None:
+        if topic not in self.subscriptions:
+            return
+        self.subscriptions.discard(topic)
+        for peer in list(self.mesh.get(topic, ())):
+            self._prune_peer(peer, topic)
+        self.mesh.pop(topic, None)
+        self._broadcast_control(RpcPacket(unsubscribe=[topic]))
+
+    def announce_to(self, peer: NodeId) -> None:
+        """Tell a (new) neighbour which topics we are subscribed to."""
+        if self.subscriptions:
+            self._send(peer, RpcPacket(subscribe=sorted(self.subscriptions)))
+
+    def add_validator(self, topic: str, validator: Validator) -> None:
+        self.validators[topic] = validator
+
+    def on_delivery(self, callback: DeliveryCallback) -> None:
+        self.delivery_callbacks.append(callback)
+
+    # -- publishing -------------------------------------------------------------------
+
+    def publish(self, topic: str, payload: Any) -> str:
+        """Publish a payload; returns the message ID."""
+        msg_id = compute_message_id(topic, payload)
+        message = GossipMessage(msg_id=msg_id, topic=topic, payload=payload)
+        self.seen.witness(msg_id, self.now)
+        self.mcache.put(message)
+        self.metrics.increment("gossipsub.published")
+
+        targets: Set[NodeId]
+        if self.params.flood_publish:
+            threshold = self.scores.params.publish_threshold
+            targets = {
+                peer
+                for peer in self.topic_peers.get(topic, set())
+                if self.scores.score(peer, self.now) >= threshold
+            }
+        elif topic in self.subscriptions:
+            targets = set(self.mesh.get(topic, set()))
+        else:
+            targets = self._fanout_targets(topic)
+        packet = RpcPacket(publish=[message])
+        for peer in targets:
+            self._send(peer, packet)
+        # A publisher counts as having delivered its own message.
+        self._deliver_locally(message, from_peer=self.node_id)
+        return msg_id
+
+    def _fanout_targets(self, topic: str) -> Set[NodeId]:
+        peers = self.fanout.get(topic)
+        if not peers:
+            candidates = self._gossip_eligible_peers(topic)
+            peers = set(candidates[: self.params.d])
+            self.fanout[topic] = peers
+        self._fanout_expiry[topic] = self.now + self.params.fanout_ttl
+        return peers
+
+    # -- packet handling -----------------------------------------------------------------
+
+    def deliver(self, from_peer: NodeId, packet: Any) -> None:
+        """Network entry point (NetworkNode protocol)."""
+        if not isinstance(packet, RpcPacket):
+            raise GossipError(f"unexpected packet type {type(packet).__name__}")
+        if self.processing_delay > 0 and packet.publish:
+            self.network.simulator.schedule(
+                self.processing_delay,
+                lambda _sim: self._process(from_peer, packet),
+                label=f"validate:{self.node_id}",
+            )
+            return
+        self._process(from_peer, packet)
+
+    def _process(self, from_peer: NodeId, packet: RpcPacket) -> None:
+        self.scores.add_peer(from_peer)
+        if (
+            self.scores.score(from_peer, self.now)
+            < self.scores.params.graylist_threshold
+        ):
+            self.metrics.increment("gossipsub.graylisted_rpc")
+            return
+        for topic in packet.subscribe:
+            self.topic_peers.setdefault(topic, set()).add(from_peer)
+        for topic in packet.unsubscribe:
+            self.topic_peers.get(topic, set()).discard(from_peer)
+            self.mesh.get(topic, set()).discard(from_peer)
+        for message in packet.publish:
+            self._handle_publish(message, from_peer)
+        if packet.ihave:
+            self._handle_ihave(packet.ihave, from_peer)
+        if packet.iwant:
+            self._handle_iwant(packet.iwant, from_peer)
+        for topic in packet.graft:
+            self._handle_graft(topic, from_peer)
+        for topic, backoff in packet.prune:
+            self._handle_prune(
+                topic, from_peer, backoff, packet.px.get(topic, [])
+            )
+
+    def _handle_publish(self, message: GossipMessage, from_peer: NodeId) -> None:
+        topic = message.topic
+        self.metrics.increment("gossipsub.received")
+        if self.seen.witness(message.msg_id, self.now):
+            self.scores.duplicate_message(from_peer, topic)
+            self.metrics.increment("gossipsub.duplicates")
+            return
+        result = self._validate(message, from_peer)
+        if result is ValidationResult.REJECT:
+            self.scores.reject_message(from_peer, topic)
+            self.metrics.increment("gossipsub.rejected")
+            return
+        if result is ValidationResult.IGNORE:
+            self.metrics.increment("gossipsub.ignored")
+            return
+        self.scores.first_message(from_peer, topic)
+        self.mcache.put(message)
+        self._deliver_locally(message, from_peer)
+        self._forward(message, exclude={from_peer})
+
+    def _validate(
+        self, message: GossipMessage, from_peer: NodeId
+    ) -> ValidationResult:
+        validator = self.validators.get(message.topic)
+        if validator is None:
+            return ValidationResult.ACCEPT
+        return validator(message.payload, from_peer)
+
+    def _deliver_locally(self, message: GossipMessage, from_peer: NodeId) -> None:
+        if message.topic not in self.subscriptions:
+            return
+        self.metrics.increment("gossipsub.delivered")
+        for callback in self.delivery_callbacks:
+            callback(message.topic, message.payload, message.msg_id, from_peer)
+
+    def _forward(self, message: GossipMessage, exclude: Set[NodeId]) -> None:
+        topic = message.topic
+        targets = set(self.mesh.get(topic, set())) - exclude
+        packet = RpcPacket(publish=[message])
+        for peer in targets:
+            self._send(peer, packet)
+
+    def _handle_ihave(
+        self, ihave: Dict[str, List[str]], from_peer: NodeId
+    ) -> None:
+        # Ignore gossip from peers scored below the gossip threshold.
+        if (
+            self.scores.score(from_peer, self.now)
+            < self.scores.params.gossip_threshold
+        ):
+            return
+        wanted: List[str] = []
+        for topic, ids in ihave.items():
+            if topic not in self.subscriptions:
+                continue
+            for msg_id in ids:
+                if msg_id not in self.seen and msg_id not in wanted:
+                    wanted.append(msg_id)
+        wanted = wanted[: self.params.max_iwant_per_heartbeat]
+        if wanted:
+            self.metrics.increment("gossipsub.iwant_sent", len(wanted))
+            self._send(from_peer, RpcPacket(iwant=wanted))
+
+    def _handle_iwant(self, iwant: List[str], from_peer: NodeId) -> None:
+        found = [
+            message
+            for msg_id in iwant
+            if (message := self.mcache.get(msg_id)) is not None
+        ]
+        if found:
+            self.metrics.increment("gossipsub.iwant_served", len(found))
+            self._send(from_peer, RpcPacket(publish=found))
+
+    def _handle_graft(self, topic: str, from_peer: NodeId) -> None:
+        if topic not in self.subscriptions:
+            self._send(
+                from_peer,
+                RpcPacket(prune=[(topic, self.params.prune_backoff)]),
+            )
+            return
+        if self._in_backoff(from_peer, topic):
+            # GRAFTing while backoffed is a protocol violation (P7).
+            self.scores.behaviour_penalty(from_peer)
+            self._send(
+                from_peer,
+                RpcPacket(prune=[(topic, self.params.prune_backoff)]),
+            )
+            return
+        if self.scores.score(from_peer, self.now) < 0:
+            self._send(
+                from_peer,
+                RpcPacket(prune=[(topic, self.params.prune_backoff)]),
+            )
+            return
+        self.mesh.setdefault(topic, set()).add(from_peer)
+        self.scores.graft(from_peer, topic, self.now)
+        self.topic_peers.setdefault(topic, set()).add(from_peer)
+
+    def _handle_prune(
+        self,
+        topic: str,
+        from_peer: NodeId,
+        backoff: float,
+        px: Optional[List[NodeId]] = None,
+    ) -> None:
+        self.mesh.get(topic, set()).discard(from_peer)
+        self.scores.prune(from_peer, topic, self.now)
+        self._backoff[(from_peer, topic)] = self.now + max(
+            backoff, self.params.prune_backoff
+        )
+        # Peer Exchange: accept suggestions only from well-scored peers
+        # (a graylist-adjacent peer could otherwise steer our mesh).
+        if px and (
+            self.scores.score(from_peer, self.now)
+            >= self.scores.params.accept_px_threshold
+        ):
+            self._connect_px(topic, px)
+
+    def _connect_px(self, topic: str, suggestions: List[NodeId]) -> None:
+        """Dial PX-suggested peers and exchange subscriptions."""
+        for peer in suggestions[: self.params.px_peers]:
+            if peer == self.node_id or peer not in self.network:
+                continue
+            if not self.network.are_connected(self.node_id, peer):
+                self.network.connect(self.node_id, peer)
+                self.metrics.increment("gossipsub.px_dials")
+            self.topic_peers.setdefault(topic, set()).add(peer)
+            self.announce_to(peer)
+
+    # -- mesh maintenance -----------------------------------------------------------------
+
+    def _in_backoff(self, peer: NodeId, topic: str) -> bool:
+        return self._backoff.get((peer, topic), 0.0) > self.now
+
+    def _graft_peer(self, peer: NodeId, topic: str) -> None:
+        self.mesh.setdefault(topic, set()).add(peer)
+        self.scores.graft(peer, topic, self.now)
+        self._send(peer, RpcPacket(graft=[topic]))
+
+    def _prune_peer(self, peer: NodeId, topic: str) -> None:
+        self.mesh.get(topic, set()).discard(peer)
+        self.scores.prune(peer, topic, self.now)
+        self._backoff[(peer, topic)] = self.now + self.params.prune_backoff
+        # Offer Peer Exchange: well-scored alternatives from our mesh,
+        # so the pruned peer can heal its degree elsewhere.
+        suggestions = [
+            p
+            for p in self.mesh.get(topic, set())
+            if p != peer and self.scores.score(p, self.now) >= 0
+        ][: self.params.px_peers]
+        packet = RpcPacket(prune=[(topic, self.params.prune_backoff)])
+        if suggestions:
+            packet.px = {topic: suggestions}
+        self._send(peer, packet)
+
+    def _gossip_eligible_peers(self, topic: str) -> List[NodeId]:
+        """Known topic peers that are direct neighbours, best score first."""
+        neighbors = set(self.peers())
+        candidates = [
+            peer
+            for peer in self.topic_peers.get(topic, set())
+            if peer in neighbors
+            and self.scores.score(peer, self.now)
+            >= self.scores.params.gossip_threshold
+        ]
+        candidates.sort(
+            key=lambda p: self.scores.score(p, self.now), reverse=True
+        )
+        return candidates
+
+    def heartbeat(self) -> None:
+        """Periodic maintenance: mesh balancing, gossip, cache shift."""
+        self.scores.decay()
+        self._maintain_meshes()
+        self._expire_fanout()
+        self._emit_gossip()
+        self.mcache.shift()
+        self.metrics.increment("gossipsub.heartbeats")
+
+    def _maintain_meshes(self) -> None:
+        rng = self.network.simulator.rng
+        neighbors = set(self.peers())
+        for topic in self.subscriptions:
+            mesh = self.mesh.setdefault(topic, set())
+            # Evict mesh members whose connection is gone (churn); they
+            # re-enter through GRAFT after the backoff, and meanwhile
+            # the IHAVE/IWANT gossip path covers them.
+            for peer in [p for p in mesh if p not in neighbors]:
+                mesh.discard(peer)
+                self.scores.prune(peer, topic, self.now)
+                self._backoff[(peer, topic)] = (
+                    self.now + self.params.prune_backoff
+                )
+            # Drop negatively scored mesh members outright.
+            for peer in [
+                p for p in mesh if self.scores.score(p, self.now) < 0
+            ]:
+                self._prune_peer(peer, topic)
+            if len(mesh) < self.params.d_lo:
+                candidates = [
+                    peer
+                    for peer in self._gossip_eligible_peers(topic)
+                    if peer not in mesh
+                    and not self._in_backoff(peer, topic)
+                    and self.scores.score(peer, self.now) >= 0
+                ]
+                rng.shuffle(candidates)
+                for peer in candidates[: self.params.d - len(mesh)]:
+                    self._graft_peer(peer, topic)
+            elif len(mesh) > self.params.d_hi:
+                # Keep the best d_score peers, prune random others to d.
+                ranked = sorted(
+                    mesh,
+                    key=lambda p: self.scores.score(p, self.now),
+                    reverse=True,
+                )
+                keep = set(ranked[: self.params.d_score])
+                removable = [p for p in ranked[self.params.d_score :]]
+                rng.shuffle(removable)
+                while len(keep) < self.params.d and removable:
+                    keep.add(removable.pop())
+                for peer in list(mesh - keep):
+                    self._prune_peer(peer, topic)
+            self._opportunistic_graft(topic, mesh)
+
+    def _opportunistic_graft(self, topic: str, mesh: Set[NodeId]) -> None:
+        if not mesh:
+            return
+        scores = sorted(self.scores.score(p, self.now) for p in mesh)
+        median = scores[len(scores) // 2]
+        if median >= self.scores.params.opportunistic_graft_threshold:
+            return
+        candidates = [
+            peer
+            for peer in self._gossip_eligible_peers(topic)
+            if peer not in mesh
+            and not self._in_backoff(peer, topic)
+            and self.scores.score(peer, self.now) > median
+        ]
+        for peer in candidates[: self.params.opportunistic_graft_peers]:
+            self._graft_peer(peer, topic)
+
+    def _expire_fanout(self) -> None:
+        for topic in [
+            t for t, expiry in self._fanout_expiry.items() if expiry <= self.now
+        ]:
+            self.fanout.pop(topic, None)
+            self._fanout_expiry.pop(topic, None)
+
+    def _emit_gossip(self) -> None:
+        rng = self.network.simulator.rng
+        for topic in set(self.subscriptions) | set(self.fanout):
+            msg_ids = self.mcache.gossip_ids(topic)
+            if not msg_ids:
+                continue
+            mesh = self.mesh.get(topic, set())
+            candidates = [
+                peer
+                for peer in self._gossip_eligible_peers(topic)
+                if peer not in mesh
+            ]
+            rng.shuffle(candidates)
+            for peer in candidates[: self.params.d_lazy]:
+                self.metrics.increment("gossipsub.ihave_sent")
+                self._send(peer, RpcPacket(ihave={topic: list(msg_ids)}))
+
+    # -- transport ------------------------------------------------------------------------
+
+    def _send(self, peer: NodeId, packet: RpcPacket) -> None:
+        if packet.is_empty():
+            return
+        self.metrics.increment("gossipsub.rpc_sent")
+        self.metrics.increment("gossipsub.bytes_sent", packet.size_bytes)
+        self.network.send(self.node_id, peer, packet)
+
+    def _broadcast_control(self, packet: RpcPacket) -> None:
+        for peer in self.peers():
+            self._send(peer, packet)

@@ -1,0 +1,101 @@
+"""GossipSub wire objects.
+
+A single :class:`RpcPacket` envelope carries any combination of message
+publications, control messages (IHAVE/IWANT/GRAFT/PRUNE) and
+subscription changes, as in the libp2p protobuf schema. Packets contain
+**no origin information** — only the previous hop is visible to a
+receiver, which is the property Waku-Relay's anonymity builds on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+
+def payload_to_bytes(payload: Any) -> bytes:
+    """Canonical byte view of a payload (bytes or ``to_bytes()`` objects)."""
+    if isinstance(payload, (bytes, bytearray)):
+        return bytes(payload)
+    # Guard against primitives: int.to_bytes() would silently "work".
+    if not isinstance(payload, (int, float, str, bool)):
+        to_bytes = getattr(payload, "to_bytes", None)
+        if callable(to_bytes):
+            return to_bytes()
+    raise TypeError(
+        f"payload of type {type(payload).__name__} is not byte-serializable"
+    )
+
+
+def compute_message_id(topic: str, payload: Any) -> str:
+    """Content-addressed message ID: ``H(topic || payload)``.
+
+    Deriving IDs from content only (never from a sender identity) keeps
+    the routing layer anonymous and makes duplicate elimination
+    origin-blind.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(topic.encode())
+    hasher.update(b"\x00")
+    hasher.update(payload_to_bytes(payload))
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class GossipMessage:
+    """One published message in flight."""
+
+    msg_id: str
+    topic: str
+    payload: Any
+
+    @property
+    def size_bytes(self) -> int:
+        return len(payload_to_bytes(self.payload))
+
+
+@dataclass
+class RpcPacket:
+    """The union envelope exchanged between gossipsub routers."""
+
+    publish: List[GossipMessage] = field(default_factory=list)
+    #: topic -> advertised message IDs
+    ihave: Dict[str, List[str]] = field(default_factory=dict)
+    iwant: List[str] = field(default_factory=list)
+    graft: List[str] = field(default_factory=list)
+    #: topic -> backoff seconds the receiver must respect
+    prune: List[Tuple[str, float]] = field(default_factory=list)
+    #: Peer Exchange (v1.1): topic -> alternative peers offered with a
+    #: PRUNE, so the pruned peer can heal its mesh elsewhere.
+    px: Dict[str, List[str]] = field(default_factory=dict)
+    subscribe: List[str] = field(default_factory=list)
+    unsubscribe: List[str] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not (
+            self.publish
+            or self.ihave
+            or self.iwant
+            or self.graft
+            or self.prune
+            or self.subscribe
+            or self.unsubscribe
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        """Rough wire size for bandwidth accounting."""
+        size = 8  # envelope framing
+        for message in self.publish:
+            size += 16 + len(message.topic) + message.size_bytes
+        for topic, ids in self.ihave.items():
+            size += len(topic) + 16 * len(ids)
+        size += 16 * len(self.iwant)
+        size += sum(len(t) for t in self.graft)
+        size += sum(len(t) + 8 for t, _ in self.prune)
+        for topic, peers in self.px.items():
+            size += len(topic) + sum(len(p) for p in peers)
+        size += sum(len(t) for t in self.subscribe)
+        size += sum(len(t) for t in self.unsubscribe)
+        return size

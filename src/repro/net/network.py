@@ -1,0 +1,139 @@
+"""Simulated peer-to-peer network: nodes, links, delayed delivery.
+
+The network is intentionally PII-free: a packet delivered to a node
+carries only the *previous hop* (the neighbour it arrived from), never
+an origin address — mirroring how a gossip overlay only ever sees its
+direct peers. Receiver and sender anonymity in Waku-Relay rest on this
+property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Protocol, Set, Tuple
+
+from ..errors import NetworkError
+from ..sim.latency import LatencyModel, UniformLatency
+from ..sim.metrics import MetricsRegistry
+from ..sim.simulator import Simulator
+
+#: Node identifiers are short strings ("peer-17").
+NodeId = str
+
+
+class NetworkNode(Protocol):
+    """What the network needs from an attached protocol instance."""
+
+    node_id: NodeId
+
+    def deliver(self, from_peer: NodeId, packet: Any) -> None:
+        """Handle a packet that arrived from direct neighbour ``from_peer``."""
+
+
+@dataclass
+class Network:
+    """Bidirectional links with per-hop latency, jitter and loss."""
+
+    simulator: Simulator
+    latency: LatencyModel = field(default_factory=UniformLatency)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def __post_init__(self) -> None:
+        self._nodes: Dict[NodeId, NetworkNode] = {}
+        self._links: Set[Tuple[NodeId, NodeId]] = set()
+
+    # -- membership ----------------------------------------------------------
+
+    def attach(self, node: NetworkNode) -> None:
+        if node.node_id in self._nodes:
+            raise NetworkError(f"node {node.node_id!r} already attached")
+        self._nodes[node.node_id] = node
+
+    def detach(self, node_id: NodeId) -> None:
+        """Remove a node and all of its links (crash / churn model)."""
+        if node_id not in self._nodes:
+            raise NetworkError(f"unknown node {node_id!r}")
+        del self._nodes[node_id]
+        self._links = {
+            link for link in self._links if node_id not in link
+        }
+
+    def node(self, node_id: NodeId) -> NetworkNode:
+        if node_id not in self._nodes:
+            raise NetworkError(f"unknown node {node_id!r}")
+        return self._nodes[node_id]
+
+    def node_ids(self) -> List[NodeId]:
+        return list(self._nodes)
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._nodes
+
+    # -- links -----------------------------------------------------------------
+
+    @staticmethod
+    def _link_key(a: NodeId, b: NodeId) -> Tuple[NodeId, NodeId]:
+        return (a, b) if a <= b else (b, a)
+
+    def connect(self, a: NodeId, b: NodeId) -> None:
+        if a == b:
+            raise NetworkError("cannot link a node to itself")
+        for node_id in (a, b):
+            if node_id not in self._nodes:
+                raise NetworkError(f"unknown node {node_id!r}")
+        self._links.add(self._link_key(a, b))
+
+    def disconnect(self, a: NodeId, b: NodeId) -> None:
+        self._links.discard(self._link_key(a, b))
+
+    def are_connected(self, a: NodeId, b: NodeId) -> bool:
+        return self._link_key(a, b) in self._links
+
+    def neighbors(self, node_id: NodeId) -> List[NodeId]:
+        out = []
+        for x, y in self._links:
+            if x == node_id:
+                out.append(y)
+            elif y == node_id:
+                out.append(x)
+        return sorted(out)
+
+    def link_count(self) -> int:
+        return len(self._links)
+
+    # -- transmission -------------------------------------------------------------
+
+    def send(self, sender: NodeId, receiver: NodeId, packet: Any) -> bool:
+        """Schedule delivery of ``packet`` over the ``sender—receiver`` link.
+
+        Returns False if the packet was dropped by the loss model or the
+        link does not exist (e.g. the peer just disconnected); gossip is
+        tolerant of both, so no exception is raised.
+        """
+        if not self.are_connected(sender, receiver):
+            self.metrics.increment("net.send_no_link")
+            return False
+        rng = self.simulator.rng
+        if self.latency.sample_loss(rng):
+            self.metrics.increment("net.packets_lost")
+            return False
+        delay = self.latency.sample_latency(rng)
+        self.metrics.increment("net.packets_sent")
+        self.metrics.observe("net.latency", delay)
+
+        def deliver(sim: Simulator) -> None:
+            # The receiver may have churned out while in flight.
+            target = self._nodes.get(receiver)
+            if target is None:
+                self.metrics.increment("net.packets_dead_lettered")
+                return
+            target.deliver(sender, packet)
+
+        self.simulator.schedule(delay, deliver, label=f"deliver:{receiver}")
+        return True
+
+    def broadcast(
+        self, sender: NodeId, receivers: Iterable[NodeId], packet: Any
+    ) -> int:
+        """Send one packet to many neighbours; returns how many were sent."""
+        return sum(1 for r in receivers if self.send(sender, r, packet))

@@ -1,0 +1,100 @@
+"""Topology generators for network simulations.
+
+GossipSub deployments form approximately random-regular overlays (every
+peer keeps ~D mesh links), so that is the default; small-world and
+Erdős–Rényi generators are provided for sensitivity experiments.
+NetworkX does the graph generation; this module wires the resulting
+edges into a :class:`~repro.net.network.Network`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import networkx as nx
+
+from ..errors import NetworkError
+from .network import Network, NodeId
+
+
+def _apply_edges(
+    network: Network, node_ids: Sequence[NodeId], graph: nx.Graph
+) -> int:
+    for a, b in graph.edges():
+        network.connect(node_ids[a], node_ids[b])
+    return graph.number_of_edges()
+
+
+def connect_random_regular(
+    network: Network, node_ids: Sequence[NodeId], degree: int, seed: int = 0
+) -> int:
+    """Random ``degree``-regular overlay (the GossipSub-like default)."""
+    n = len(node_ids)
+    if n <= degree:
+        raise NetworkError(f"need more than {degree} nodes, got {n}")
+    if (n * degree) % 2:
+        raise NetworkError("n * degree must be even for a regular graph")
+    graph = nx.random_regular_graph(degree, n, seed=seed)
+    return _apply_edges(network, node_ids, graph)
+
+
+def connect_small_world(
+    network: Network,
+    node_ids: Sequence[NodeId],
+    k: int = 6,
+    rewire_probability: float = 0.1,
+    seed: int = 0,
+) -> int:
+    """Watts–Strogatz small-world overlay."""
+    graph = nx.connected_watts_strogatz_graph(
+        len(node_ids), k, rewire_probability, seed=seed
+    )
+    return _apply_edges(network, node_ids, graph)
+
+
+def connect_erdos_renyi(
+    network: Network,
+    node_ids: Sequence[NodeId],
+    edge_probability: float = 0.1,
+    seed: int = 0,
+) -> int:
+    """G(n, p) overlay; retries until connected so gossip can reach all."""
+    n = len(node_ids)
+    for attempt in range(100):
+        graph = nx.erdos_renyi_graph(n, edge_probability, seed=seed + attempt)
+        if nx.is_connected(graph):
+            return _apply_edges(network, node_ids, graph)
+    raise NetworkError(
+        f"could not draw a connected G({n}, {edge_probability}) in 100 tries"
+    )
+
+
+def connect_full_mesh(network: Network, node_ids: Sequence[NodeId]) -> int:
+    """Every pair connected (tiny test networks only)."""
+    count = 0
+    for i, a in enumerate(node_ids):
+        for b in node_ids[i + 1 :]:
+            network.connect(a, b)
+            count += 1
+    return count
+
+
+def diameter(network: Network) -> int:
+    """Hop diameter of the current overlay (for experiment reporting)."""
+    graph = nx.Graph()
+    graph.add_nodes_from(network.node_ids())
+    for node_id in network.node_ids():
+        for neighbor in network.neighbors(node_id):
+            graph.add_edge(node_id, neighbor)
+    if graph.number_of_nodes() == 0:
+        return 0
+    if not nx.is_connected(graph):
+        raise NetworkError("overlay is not connected")
+    return nx.diameter(graph)
+
+
+def average_degree(network: Network) -> float:
+    ids: List[NodeId] = network.node_ids()
+    if not ids:
+        return 0.0
+    return sum(len(network.neighbors(i)) for i in ids) / len(ids)

@@ -1,0 +1,27 @@
+"""Rate-Limiting Nullifier framework: signals, proofs, detection."""
+
+from .circuit import RLN_CIRCUIT_ID, RLN_PUBLIC_INPUTS, RlnStatement
+from .membership import DEFAULT_ROOT_WINDOW, LocalGroup
+from .nullifier import external_nullifier, internal_nullifier, line_coefficient
+from .prover import RlnProver, rln_keys
+from .signal import RlnSignal
+from .slashing import SlashingEvidence, detect_double_signal
+from .verifier import RlnVerifier, SignalCheck
+
+__all__ = [
+    "RlnStatement",
+    "RLN_CIRCUIT_ID",
+    "RLN_PUBLIC_INPUTS",
+    "LocalGroup",
+    "DEFAULT_ROOT_WINDOW",
+    "external_nullifier",
+    "internal_nullifier",
+    "line_coefficient",
+    "RlnProver",
+    "rln_keys",
+    "RlnSignal",
+    "RlnVerifier",
+    "SignalCheck",
+    "SlashingEvidence",
+    "detect_double_signal",
+]

@@ -1,0 +1,118 @@
+"""Local (off-chain) membership group state.
+
+Section III's central design choice: the contract stores only a flat,
+ordered list of public keys, while **every peer maintains the Merkle
+tree locally**, updating it from contract events ("Group
+Synchronization"). :class:`LocalGroup` is that local replica.
+
+It also keeps a small window of recent roots. Proof verification
+accepts any root in the window, which tolerates the unavoidable race
+between a publisher proving against root ``r_k`` and a router that has
+already applied the ``k+1``-th membership event.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from ..constants import DEFAULT_MERKLE_DEPTH
+from ..crypto.field import Fr
+from ..crypto.keys import IdentityCommitment
+from ..crypto.merkle import MerkleProof, MerkleTree
+from ..errors import MemberNotFoundError, SyncError
+
+#: How many historical roots a router accepts by default.
+DEFAULT_ROOT_WINDOW = 8
+
+
+class LocalGroup:
+    """A peer's local replica of the RLN membership tree."""
+
+    def __init__(
+        self,
+        depth: int = DEFAULT_MERKLE_DEPTH,
+        root_window: int = DEFAULT_ROOT_WINDOW,
+    ) -> None:
+        self.tree = MerkleTree(depth)
+        self.root_window = root_window
+        self._recent_roots: "OrderedDict[Fr, None]" = OrderedDict()
+        self._remember_root(self.tree.root)
+        #: Number of membership events applied; used to detect gaps.
+        self.applied_events = 0
+
+    # -- root bookkeeping ----------------------------------------------------
+
+    def _remember_root(self, root: Fr) -> None:
+        self._recent_roots[root] = None
+        self._recent_roots.move_to_end(root)
+        while len(self._recent_roots) > self.root_window:
+            self._recent_roots.popitem(last=False)
+
+    @property
+    def root(self) -> Fr:
+        return self.tree.root
+
+    def recent_roots(self) -> List[Fr]:
+        """Roots currently accepted for proof verification, oldest first."""
+        return list(self._recent_roots)
+
+    def is_acceptable_root(self, root: Fr) -> bool:
+        return root in self._recent_roots
+
+    # -- event application -----------------------------------------------------
+
+    def apply_registration(
+        self, commitment: IdentityCommitment, event_index: int
+    ) -> int:
+        """Apply a MemberRegistered event; returns the new leaf index.
+
+        ``event_index`` is the contract's event sequence number; applying
+        events out of order would silently fork the local tree from the
+        canonical one, so a gap raises :class:`SyncError` instead.
+        """
+        self._check_sequence(event_index)
+        leaf_index = self.tree.insert(commitment.element)
+        self.applied_events += 1
+        self._remember_root(self.tree.root)
+        return leaf_index
+
+    def apply_removal(self, leaf_index: int, event_index: int) -> None:
+        """Apply a MemberRemoved (slashing) event."""
+        self._check_sequence(event_index)
+        self.tree.delete(leaf_index)
+        self.applied_events += 1
+        self._remember_root(self.tree.root)
+
+    def _check_sequence(self, event_index: int) -> None:
+        if event_index != self.applied_events:
+            raise SyncError(
+                f"membership event {event_index} applied out of order "
+                f"(expected {self.applied_events})"
+            )
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def member_count(self) -> int:
+        """Slots assigned so far (slashed members keep their slot)."""
+        return self.tree.leaf_count
+
+    def index_of(self, commitment: IdentityCommitment) -> int:
+        """Leaf index of a commitment; raises if absent (e.g. slashed)."""
+        index = self.tree.find_leaf(commitment.element)
+        if index is None:
+            raise MemberNotFoundError(
+                f"commitment {commitment.element!r} is not in the local tree"
+            )
+        return index
+
+    def contains(self, commitment: IdentityCommitment) -> bool:
+        return self.tree.find_leaf(commitment.element) is not None
+
+    def merkle_proof(self, leaf_index: int) -> MerkleProof:
+        """Authentication path for a member's leaf (publisher side)."""
+        return self.tree.proof(leaf_index)
+
+    def storage_bytes(self) -> int:
+        return self.tree.storage_bytes()

@@ -1,0 +1,42 @@
+"""External and internal nullifier derivation.
+
+The *external nullifier* is the application-wide value for which each
+member may signal exactly once; Waku-RLN-Relay instantiates it with the
+current epoch (Section III: "We use epoch as the external nulliﬁer").
+An optional domain tag binds the nullifier to an application (the RLN
+proposal's "voting booth"), so the same identity can signal in multiple
+applications without cross-application rate-limit interference.
+
+The *internal nullifier* ``phi = H(H(sk, e))`` is the member's unique,
+unlinkable fingerprint for an external nullifier ``e``; two signals with
+equal ``phi`` in one epoch constitute double-signaling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..crypto.field import Fr
+from ..crypto.hashing import hash1, hash2, hash_bytes_to_field
+
+
+def external_nullifier(epoch: int, domain: Optional[str] = None) -> Fr:
+    """External nullifier for ``epoch``, optionally domain-separated.
+
+    Without a domain this is just the epoch index embedded in the field,
+    exactly as the paper specifies; with a domain it is
+    ``H(H(domain), epoch)``.
+    """
+    if domain is None:
+        return Fr(epoch)
+    return hash2(hash_bytes_to_field(domain.encode(), "rln-domain"), Fr(epoch))
+
+
+def line_coefficient(secret: Fr, ext_nullifier: Fr) -> Fr:
+    """The epoch-bound Shamir slope ``a1 = H(sk, e)``."""
+    return hash2(Fr(secret), Fr(ext_nullifier))
+
+
+def internal_nullifier(secret: Fr, ext_nullifier: Fr) -> Fr:
+    """``phi = H(H(sk, e))`` — the member's per-epoch fingerprint."""
+    return hash1(line_coefficient(secret, ext_nullifier))

@@ -1,0 +1,82 @@
+"""Signal creation — the publisher side of the RLN framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..crypto.hashing import hash_bytes_to_field
+from ..crypto.keys import MembershipKeyPair
+from ..crypto.merkle import MerkleProof
+from ..crypto.zksnark import groth16
+from ..crypto.zksnark.groth16 import ProvingKey
+from ..errors import ProofError
+from .circuit import RLN_CIRCUIT_ID, RLN_PUBLIC_INPUTS, RlnStatement
+from .nullifier import external_nullifier
+from .signal import RlnSignal
+
+
+def rln_keys(
+    num_constraints: Optional[int] = None, seed: Optional[bytes] = None
+):
+    """Run the RLN circuit's trusted setup; returns ``(pk, vk)``.
+
+    All peers in one deployment must share the same setup (as they would
+    share the ceremony output in production), so create this once per
+    simulation and hand it to every prover/verifier.
+    """
+    return groth16.trusted_setup(
+        RLN_CIRCUIT_ID, RLN_PUBLIC_INPUTS, num_constraints, seed
+    )
+
+
+@dataclass
+class RlnProver:
+    """Builds :class:`RlnSignal`s for one member.
+
+    The prover is deliberately *stateless about rate limits*: enforcing
+    "one message per epoch" on the honest path is the job of the peer
+    layer (:mod:`repro.core.peer`), and *not* enforcing it here is what
+    lets the test suite and the attack models produce double-signals.
+    """
+
+    keypair: MembershipKeyPair
+    proving_key: ProvingKey
+    mode: str = field(default="native")
+
+    def create_signal(
+        self,
+        message: bytes,
+        epoch: int,
+        merkle_proof: MerkleProof,
+        domain: Optional[str] = None,
+        rng=None,
+    ) -> RlnSignal:
+        """Create the signal ``(m, e, phi, [sk], pi)`` for ``message``.
+
+        ``merkle_proof`` must authenticate this member's commitment
+        against the group root the routers currently accept; the caller
+        (peer layer) obtains it from its synced :class:`LocalGroup`.
+        """
+        if merkle_proof.leaf != self.keypair.commitment.element:
+            raise ProofError(
+                "merkle proof does not authenticate this member's commitment"
+            )
+        ext = external_nullifier(epoch, domain)
+        x = hash_bytes_to_field(message)
+        statement = RlnStatement.build(
+            secret=self.keypair.secret.element,
+            ext_nullifier=ext,
+            x=x,
+            merkle_proof=merkle_proof,
+        )
+        proof = groth16.prove(self.proving_key, statement, self.mode, rng)
+        return RlnSignal(
+            message=message,
+            epoch=epoch,
+            external_nullifier=ext,
+            internal_nullifier=statement.internal_nullifier,
+            share=statement.share(),
+            merkle_root=statement.merkle_root,
+            proof=proof,
+        )

@@ -1,0 +1,104 @@
+"""The RLN signal: ``(m, e, phi, [sk], pi)``.
+
+Section II of the paper defines a signal as the message ``m``, the
+external nullifier ``e``, the internal nullifier ``phi``, one Shamir
+share ``[sk]`` of the sender's secret, and a zkSNARK proof ``pi`` that
+all of these were derived from a secret key committed in the membership
+tree. The signal deliberately contains **no PII**: no sender identifier,
+no signature, no address — anonymity comes from this absence plus the
+zero-knowledge property of ``pi``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..constants import KEY_SIZE_BYTES, PROOF_SIZE_BYTES
+from ..crypto.field import Fr
+from ..crypto.shamir import Share
+from ..crypto.zksnark.groth16 import Proof
+from ..errors import SerializationError
+
+
+@dataclass(frozen=True)
+class RlnSignal:
+    """One rate-limited, membership-proved, anonymous message."""
+
+    message: bytes
+    epoch: int
+    external_nullifier: Fr
+    internal_nullifier: Fr
+    share: Share
+    merkle_root: Fr
+    proof: Proof
+
+    def public_inputs(self) -> Tuple[Fr, ...]:
+        """The zkSNARK public inputs, in circuit order:
+        ``(root, e, x, y, phi)``."""
+        return (
+            self.merkle_root,
+            self.external_nullifier,
+            self.share.x,
+            self.share.y,
+            self.internal_nullifier,
+        )
+
+    @property
+    def overhead_bytes(self) -> int:
+        """Bytes the RLN fields add on top of the raw message payload:
+        epoch (8) + e, phi, x, y, root (5 x 32) + proof (128)."""
+        return 8 + 5 * KEY_SIZE_BYTES + PROOF_SIZE_BYTES
+
+    def to_bytes(self) -> bytes:
+        """Canonical wire encoding (length-prefixed message + fields)."""
+        header = len(self.message).to_bytes(4, "big")
+        return (
+            header
+            + self.message
+            + self.epoch.to_bytes(8, "big")
+            + self.external_nullifier.to_bytes()
+            + self.internal_nullifier.to_bytes()
+            + self.share.x.to_bytes()
+            + self.share.y.to_bytes()
+            + self.merkle_root.to_bytes()
+            + self.proof.to_bytes()
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RlnSignal":
+        if len(data) < 4:
+            raise SerializationError("truncated RLN signal")
+        msg_len = int.from_bytes(data[:4], "big")
+        offset = 4
+        expected = offset + msg_len + 8 + 5 * KEY_SIZE_BYTES + PROOF_SIZE_BYTES
+        if len(data) != expected:
+            raise SerializationError(
+                f"RLN signal must be {expected} bytes, got {len(data)}"
+            )
+        message = data[offset : offset + msg_len]
+        offset += msg_len
+        epoch = int.from_bytes(data[offset : offset + 8], "big")
+        offset += 8
+
+        def read_fr() -> Fr:
+            nonlocal offset
+            value = Fr.from_bytes(data[offset : offset + KEY_SIZE_BYTES])
+            offset += KEY_SIZE_BYTES
+            return value
+
+        ext = read_fr()
+        phi = read_fr()
+        x = read_fr()
+        y = read_fr()
+        root = read_fr()
+        proof = Proof.from_bytes(data[offset:])
+        return cls(
+            message=message,
+            epoch=epoch,
+            external_nullifier=ext,
+            internal_nullifier=phi,
+            share=Share(x=x, y=y),
+            merkle_root=root,
+            proof=proof,
+        )

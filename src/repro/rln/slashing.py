@@ -1,0 +1,64 @@
+"""Spam detection and secret recovery from double-signals.
+
+When one member publishes two *different* messages in the same epoch,
+both signals carry the same internal nullifier but two distinct points
+of the member's rate-limit line — enough to reconstruct ``sk`` (paper
+Section II). Whoever reconstructs it can submit it to the membership
+contract, which removes the member, burns part of the stake and pays
+the remainder to the reporter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..crypto.field import Fr
+from ..crypto.hashing import hash1
+from ..crypto.keys import IdentityCommitment, IdentitySecret
+from ..crypto.shamir import recover_secret_from_double_signal
+from ..errors import ShamirError
+from .signal import RlnSignal
+
+
+@dataclass(frozen=True)
+class SlashingEvidence:
+    """Everything needed to slash a spammer on-chain."""
+
+    recovered_secret: IdentitySecret
+    commitment: IdentityCommitment
+    epoch: int
+    internal_nullifier: Fr
+    signal_a: RlnSignal
+    signal_b: RlnSignal
+
+
+def detect_double_signal(
+    signal_a: RlnSignal, signal_b: RlnSignal
+) -> Optional[SlashingEvidence]:
+    """Try to recover a spammer's secret from a pair of signals.
+
+    Returns ``None`` when the pair is *not* a rate violation: different
+    epochs/domains, different members (distinct nullifiers), or the very
+    same message seen twice (gossip routinely delivers duplicates — one
+    message is one share, and one share reveals nothing).
+    """
+    if signal_a.external_nullifier != signal_b.external_nullifier:
+        return None
+    if signal_a.internal_nullifier != signal_b.internal_nullifier:
+        return None
+    try:
+        secret_value = recover_secret_from_double_signal(
+            signal_a.share, signal_b.share
+        )
+    except ShamirError:
+        return None  # identical share abscissae: duplicate, not spam
+    secret = IdentitySecret(secret_value)
+    return SlashingEvidence(
+        recovered_secret=secret,
+        commitment=IdentityCommitment(hash1(secret_value)),
+        epoch=signal_a.epoch,
+        internal_nullifier=signal_a.internal_nullifier,
+        signal_a=signal_a,
+        signal_b=signal_b,
+    )

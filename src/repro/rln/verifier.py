@@ -1,0 +1,70 @@
+"""Signal verification — the router side of the RLN framework.
+
+A routing peer checks three things about every incoming signal (paper
+Section III, "Routing and Slashing"); this module implements the two
+cryptographic ones, leaving the epoch-window check to
+:mod:`repro.core.validator` where the local clock lives:
+
+1. the zkSNARK proof verifies against the signal's public inputs;
+2. the proof's Merkle root is one the verifier's synced group accepts;
+3. the revealed share abscissa really is ``H(m)`` — otherwise a spammer
+   could publish two messages while leaking two points of a *different*
+   line, defeating slashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Optional
+
+from ..crypto.field import Fr
+from ..crypto.hashing import hash_bytes_to_field
+from ..crypto.zksnark import groth16
+from ..crypto.zksnark.groth16 import VerifyingKey
+from .nullifier import external_nullifier
+from .signal import RlnSignal
+
+
+class SignalCheck(Enum):
+    """Outcome of verifying one signal."""
+
+    VALID = "valid"
+    INVALID_PROOF = "invalid_proof"
+    UNKNOWN_ROOT = "unknown_root"
+    BAD_SHARE_BINDING = "bad_share_binding"
+    BAD_EXTERNAL_NULLIFIER = "bad_external_nullifier"
+
+
+@dataclass
+class RlnVerifier:
+    """Verifies signals against a synced view of the membership group.
+
+    ``root_predicate`` decides whether a Merkle root is acceptable —
+    typically :meth:`LocalGroup.is_acceptable_root` of the router's
+    replica. ``domain`` must match the publishers' domain tag.
+    """
+
+    verifying_key: VerifyingKey
+    root_predicate: Callable[[Fr], bool]
+    domain: Optional[str] = None
+
+    def check(self, signal: RlnSignal) -> SignalCheck:
+        """Classify a signal; :data:`SignalCheck.VALID` means relayable
+        (pending the epoch/nullifier-map checks at the peer layer)."""
+        if signal.external_nullifier != external_nullifier(
+            signal.epoch, self.domain
+        ):
+            return SignalCheck.BAD_EXTERNAL_NULLIFIER
+        if signal.share.x != hash_bytes_to_field(signal.message):
+            return SignalCheck.BAD_SHARE_BINDING
+        if not self.root_predicate(signal.merkle_root):
+            return SignalCheck.UNKNOWN_ROOT
+        if not groth16.verify(
+            self.verifying_key, signal.proof, signal.public_inputs()
+        ):
+            return SignalCheck.INVALID_PROOF
+        return SignalCheck.VALID
+
+    def is_valid(self, signal: RlnSignal) -> bool:
+        return self.check(signal) is SignalCheck.VALID

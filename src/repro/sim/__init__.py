@@ -1,0 +1,15 @@
+"""Deterministic discrete-event simulation kernel and latency models."""
+
+from .latency import LatencyModel, LogNormalLatency, UniformLatency
+from .metrics import Histogram, MetricsRegistry
+from .simulator import EventHandle, Simulator
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "LatencyModel",
+    "UniformLatency",
+    "LogNormalLatency",
+    "Histogram",
+    "MetricsRegistry",
+]

@@ -1,0 +1,63 @@
+"""Link-latency models for the simulated network.
+
+The epoch-validation rule of the paper depends directly on the maximum
+network delay ``D`` (Thr = D / T), so latency is a first-class model
+object rather than a hard-coded constant. All models are deterministic
+given the simulator's RNG.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Base class: constant latency, optional loss."""
+
+    base_seconds: float = 0.05
+    loss_probability: float = 0.0
+
+    def sample_latency(self, rng: random.Random) -> float:
+        return self.base_seconds
+
+    def sample_loss(self, rng: random.Random) -> bool:
+        if self.loss_probability <= 0:
+            return False
+        return rng.random() < self.loss_probability
+
+
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """Uniform latency in ``[base, base + spread]``."""
+
+    spread_seconds: float = 0.05
+
+    def sample_latency(self, rng: random.Random) -> float:
+        return self.base_seconds + rng.uniform(0, self.spread_seconds)
+
+
+@dataclass(frozen=True)
+class LogNormalLatency(LatencyModel):
+    """Heavy-tailed latency, the usual fit for internet RTT distributions.
+
+    ``base_seconds`` is the median; ``sigma`` the log-space standard
+    deviation. Samples are clamped to ``max_seconds`` so the paper's
+    "maximum network delay D" stays meaningful.
+    """
+
+    sigma: float = 0.4
+    max_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.base_seconds <= 0:
+            raise SimulationError("median latency must be positive")
+
+    def sample_latency(self, rng: random.Random) -> float:
+        import math
+
+        sample = self.base_seconds * math.exp(rng.gauss(0.0, self.sigma))
+        return min(sample, self.max_seconds)

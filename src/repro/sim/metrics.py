@@ -1,0 +1,90 @@
+"""Lightweight counters and samples for experiment harnesses."""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class Histogram:
+    """Collects float samples; summarises on demand."""
+
+    samples: List[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile, ``q`` in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low]
+        weight = rank - low
+        return ordered[low] * (1 - weight) + ordered[high] * weight
+
+    @property
+    def stddev(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        mean = self.mean
+        variance = sum((s - mean) ** 2 for s in self.samples) / (
+            len(self.samples) - 1
+        )
+        return math.sqrt(variance)
+
+
+@dataclass
+class MetricsRegistry:
+    """Named counters and histograms shared across a simulation."""
+
+    counters: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    histograms: Dict[str, Histogram] = field(
+        default_factory=lambda: defaultdict(Histogram)
+    )
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def observe(self, name: str, value: float) -> None:
+        self.histograms[name].observe(value)
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def histogram(self, name: str) -> Histogram:
+        return self.histograms[name]
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of every counter and histogram mean (for tables)."""
+        out: Dict[str, float] = dict(self.counters)
+        for name, hist in self.histograms.items():
+            if hist.count:
+                out[f"{name}.mean"] = hist.mean
+                out[f"{name}.p99"] = hist.percentile(99)
+        return out

@@ -1,0 +1,75 @@
+"""The anonymized Waku message.
+
+Waku-Relay achieves sender anonymity by *omission* (paper Section I):
+protocol messages carry no IP address, no signature, no sender key — a
+message is just a content topic, an opaque payload and a protocol
+version. The optional RLN fields of Waku-RLN-Relay travel in
+``rate_limit_proof`` (the serialized :class:`~repro.rln.RlnSignal`),
+which is itself zero-knowledge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import SerializationError
+
+#: Default Waku v2 pubsub topic.
+DEFAULT_PUBSUB_TOPIC = "/waku/2/default-waku/proto"
+
+
+@dataclass(frozen=True)
+class WakuMessage:
+    """A Waku v2 message envelope (PII-free by construction)."""
+
+    payload: bytes
+    content_topic: str = "/repro/1/chat/proto"
+    version: int = 1
+    #: Serialized RLN signal; present only under Waku-RLN-Relay.
+    rate_limit_proof: Optional[bytes] = None
+
+    def to_bytes(self) -> bytes:
+        """Length-prefixed wire encoding."""
+        topic_bytes = self.content_topic.encode()
+        proof = self.rate_limit_proof or b""
+        return (
+            self.version.to_bytes(1, "big")
+            + len(topic_bytes).to_bytes(2, "big")
+            + topic_bytes
+            + len(self.payload).to_bytes(4, "big")
+            + self.payload
+            + len(proof).to_bytes(4, "big")
+            + proof
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "WakuMessage":
+        try:
+            version = data[0]
+            offset = 1
+            topic_len = int.from_bytes(data[offset : offset + 2], "big")
+            offset += 2
+            content_topic = data[offset : offset + topic_len].decode()
+            offset += topic_len
+            payload_len = int.from_bytes(data[offset : offset + 4], "big")
+            offset += 4
+            payload = data[offset : offset + payload_len]
+            offset += payload_len
+            proof_len = int.from_bytes(data[offset : offset + 4], "big")
+            offset += 4
+            proof = data[offset : offset + proof_len]
+            if offset + proof_len != len(data):
+                raise SerializationError("trailing bytes in WakuMessage")
+        except (IndexError, UnicodeDecodeError) as exc:
+            raise SerializationError(f"malformed WakuMessage: {exc}") from exc
+        return cls(
+            payload=payload,
+            content_topic=content_topic,
+            version=version,
+            rate_limit_proof=proof if proof else None,
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.to_bytes())

@@ -1,0 +1,109 @@
+"""Tests for the experiment harness: reporting and runner smoke tests.
+
+The heavyweight experiment content is asserted in ``benchmarks/``; the
+tests here pin the harness API (headers/rows shape, formatting) with
+small parameterisations so refactors cannot silently break the
+reproduction pipeline.
+"""
+
+import pytest
+
+from repro.analysis import (
+    economics_experiment,
+    format_experiment,
+    format_table,
+    gas_cost_experiment,
+    human_bytes,
+    key_material_experiment,
+    merkle_storage_experiment,
+    nullifier_map_experiment,
+    paper_reference_row,
+    proof_generation_experiment,
+    proof_verification_experiment,
+)
+from repro.analysis.ablations import epoch_length_ablation, root_window_ablation
+from repro.analysis.scaling import network_scaling_experiment
+from repro.analysis.reporting import format_value
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        table = format_table(("a", "bbb"), [(1, 2), (333, 4)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_format_table_empty_rows(self):
+        table = format_table(("x",), [])
+        assert "x" in table
+
+    def test_format_experiment_note(self):
+        text = format_experiment("T", ("h",), [(1,)], note="a note")
+        assert text.startswith("== T ==")
+        assert text.rstrip().endswith("a note")
+
+    def test_format_value_floats(self):
+        assert format_value(0.5) == "0.5"
+        assert format_value(1.23e-7) == "1.230e-07"
+        assert format_value(123456.0) == "1.235e+05"
+        assert format_value(0) == "0"
+
+    def test_format_value_large_ints_grouped(self):
+        assert format_value(1_000_000) == "1,000,000"
+
+    def test_human_bytes(self):
+        assert human_bytes(500) == "500 B"
+        assert human_bytes(67_000_000) == "67 MB"
+        assert human_bytes(1_500) == "1.5 KB"
+
+
+class TestRunnersProduceConsistentTables:
+    """Each runner returns (headers, rows) with matching widths."""
+
+    @pytest.mark.parametrize(
+        "runner,kwargs",
+        [
+            (proof_generation_experiment, {"depths": (4,), "measure_r1cs": False}),
+            (proof_verification_experiment, {"depths": (4,), "repetitions": 5}),
+            (key_material_experiment, {}),
+            (merkle_storage_experiment, {"depths": (4, 20), "populated_members": 8}),
+            (gas_cost_experiment, {"member_counts": (0, 2), "depth": 4}),
+            (nullifier_map_experiment, {"epochs": 6, "senders_per_epoch": 3}),
+            (economics_experiment, {"spammer_count": 1, "peer_count": 6}),
+            (epoch_length_ablation, {"epoch_lengths": (5.0, 10.0)}),
+            (root_window_ablation, {"windows": (1, 2), "churn_events": 3}),
+            (paper_reference_row, {}),
+            (
+                network_scaling_experiment,
+                {"peer_counts": (8,), "messages": 2},
+            ),
+        ],
+    )
+    def test_shape(self, runner, kwargs):
+        headers, rows = runner(**kwargs)
+        assert len(headers) >= 2
+        assert rows, f"{runner.__name__} produced no rows"
+        for row in rows:
+            assert len(row) == len(headers)
+        # Formatting never crashes on the produced values.
+        assert format_table(headers, rows)
+
+
+class TestExperimentSemantics:
+    def test_verification_constant_even_tiny(self):
+        _, rows = proof_verification_experiment(depths=(4, 8), repetitions=20)
+        measured = [row[3] for row in rows]
+        assert max(measured) < 10 * min(measured) + 1e-3
+
+    def test_gas_ratio_order_of_magnitude_small_config(self):
+        _, rows = gas_cost_experiment(member_counts=(0,), depth=20)
+        assert rows[0][5] > 10
+
+    def test_economics_conserves_value(self):
+        _, rows = economics_experiment(spammer_count=2, peer_count=8)
+        values = {row[0]: row[1] for row in rows}
+        assert (
+            values["total burnt"] + values["total reporter rewards"]
+            == values["total attacker loss"]
+        )

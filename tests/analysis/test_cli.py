@@ -1,0 +1,34 @@
+"""Tests for the `python -m repro.analysis` experiment runner."""
+
+import pytest
+
+from repro.analysis.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_every_paper_experiment_registered(self):
+        for key in ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"):
+            assert key in EXPERIMENTS
+
+    def test_ablations_and_scaling_registered(self):
+        for key in ("a1", "a2", "a3", "a4", "scale"):
+            assert key in EXPERIMENTS
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["e99"]) == 1
+        assert "unknown experiments" in capsys.readouterr().out
+
+    def test_single_experiment_runs(self, capsys):
+        assert main(["ref"]) == 0
+        out = capsys.readouterr().out
+        assert "Paper reference values" in out
+        assert "proof generation" in out
+
+    def test_fast_experiment_prints_table(self, capsys):
+        assert main(["a1"]) == 0
+        out = capsys.readouterr().out
+        assert "epoch T (s)" in out
+        assert "thr" in out
+
+    def test_case_insensitive_selection(self, capsys):
+        assert main(["REF"]) == 0

@@ -1,0 +1,55 @@
+"""Tests for the on-chain messaging baseline (E6's comparator)."""
+
+import pytest
+
+from repro.baselines.onchain_messaging import OnChainMessagingSystem
+
+
+class TestMessageBoard:
+    def test_post_visible_after_mining(self):
+        system = OnChainMessagingSystem(block_interval=13.0)
+        system.post(payload_hash=111, epoch=0, now=1.0)
+        assert system.contract.message_count() == 0  # not yet mined
+        delivered = system.mine(now=13.0)
+        assert system.contract.message_count() == 1
+        assert len(delivered) == 1
+        assert delivered[0].latency == pytest.approx(12.0)
+
+    def test_multiple_posts_one_block(self):
+        system = OnChainMessagingSystem()
+        for i in range(5):
+            system.post(payload_hash=i + 1, epoch=0, now=float(i))
+        delivered = system.mine(now=13.0)
+        assert len(delivered) == 5
+        assert system.contract.message_count() == 5
+
+    def test_latency_depends_on_submission_time(self):
+        system = OnChainMessagingSystem(block_interval=13.0)
+        system.post(payload_hash=1, epoch=0, now=0.5)   # early in block
+        system.post(payload_hash=2, epoch=0, now=12.5)  # just before seal
+        delivered = system.mine(now=13.0)
+        latencies = sorted(d.latency for d in delivered)
+        assert latencies[0] == pytest.approx(0.5)
+        assert latencies[1] == pytest.approx(12.5)
+
+    def test_gas_charged_per_message(self):
+        system = OnChainMessagingSystem(payload_bytes=256)
+        system.post(payload_hash=7, epoch=0, now=0.0)
+        delivered = system.mine(now=13.0)
+        # tx base + calldata + storage: sending costs real gas — the
+        # cost the paper's off-chain design saves entirely.
+        assert delivered[0].gas_used > 21_000
+
+    def test_empty_message_reverts(self):
+        system = OnChainMessagingSystem()
+        system.post(payload_hash=0, epoch=0, now=0.0)
+        system.mine(now=13.0)
+        assert system.contract.message_count() == 0
+
+    def test_deliveries_accumulate(self):
+        system = OnChainMessagingSystem()
+        system.post(payload_hash=1, epoch=0, now=0.0)
+        system.mine(now=13.0)
+        system.post(payload_hash=2, epoch=1, now=14.0)
+        system.mine(now=26.0)
+        assert len(system.deliveries) == 2

@@ -1,0 +1,108 @@
+"""Tests for the Whisper-style PoW baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.pow import (
+    ATTACKER_RIG,
+    DESKTOP,
+    IOT_DEVICE,
+    PHONE,
+    DeviceProfile,
+    PowEnvelope,
+    leading_zero_bits,
+    mine_envelope,
+    verify_envelope,
+)
+from repro.errors import VerificationError
+
+
+class TestLeadingZeroBits:
+    def test_all_zero_bytes(self):
+        assert leading_zero_bits(b"\x00\x00\xff") == 16
+
+    def test_partial_byte(self):
+        assert leading_zero_bits(b"\x01") == 7
+        assert leading_zero_bits(b"\x80") == 0
+        assert leading_zero_bits(b"\x40") == 1
+
+    def test_empty(self):
+        assert leading_zero_bits(b"") == 0
+
+
+class TestMining:
+    def test_mined_envelope_verifies(self):
+        envelope, attempts = mine_envelope(
+            b"hello", 8, rng=random.Random(1)
+        )
+        assert attempts >= 1
+        assert envelope.work_bits >= 8
+        assert verify_envelope(envelope, 8)
+
+    def test_higher_difficulty_fails_same_nonce_usually(self):
+        envelope, _ = mine_envelope(b"hello", 4, rng=random.Random(2))
+        # A 4-bit nonce rarely meets 24 bits.
+        assert not verify_envelope(envelope, 24)
+
+    def test_attempts_scale_with_difficulty(self):
+        rng = random.Random(3)
+        totals = {}
+        for bits in (4, 10):
+            attempts = [
+                mine_envelope(f"m{i}".encode(), bits, rng=rng)[1]
+                for i in range(10)
+            ]
+            totals[bits] = sum(attempts) / len(attempts)
+        assert totals[10] > totals[4]
+
+    def test_max_attempts_enforced(self):
+        with pytest.raises(VerificationError):
+            mine_envelope(b"x", 30, rng=random.Random(4), max_attempts=10)
+
+    def test_tampered_payload_fails(self):
+        envelope, _ = mine_envelope(b"original", 10, rng=random.Random(5))
+        forged = PowEnvelope(
+            payload=b"tampered", ttl=envelope.ttl, nonce=envelope.nonce
+        )
+        assert not verify_envelope(forged, 10)
+
+
+class TestEnvelopeSerialization:
+    def test_roundtrip(self):
+        envelope, _ = mine_envelope(b"data", 6, rng=random.Random(6))
+        assert PowEnvelope.from_bytes(envelope.to_bytes()) == envelope
+
+    def test_truncated_rejected(self):
+        with pytest.raises(VerificationError):
+            PowEnvelope.from_bytes(b"short")
+
+
+class TestDeviceProfiles:
+    def test_mining_time_scales_with_difficulty(self):
+        assert PHONE.expected_mining_seconds(20) == pytest.approx(
+            2 * PHONE.expected_mining_seconds(19)
+        )
+
+    def test_device_ordering(self):
+        t = lambda d: d.expected_mining_seconds(18)
+        assert t(ATTACKER_RIG) < t(DESKTOP) < t(PHONE) < t(IOT_DEVICE)
+
+    def test_paper_resource_restriction_claim(self):
+        """PoW at a meaningful difficulty is prohibitive on weak devices
+        (paper §I: 'computationally expensive hence not suitable for
+        resource-constrained devices')."""
+        assert PHONE.expected_mining_seconds(18) > 1.0
+        assert IOT_DEVICE.expected_mining_seconds(18) > 10.0
+
+    def test_attacker_asymmetry(self):
+        """An attacker rig outproduces a phone by orders of magnitude."""
+        rig_rate = 1 / ATTACKER_RIG.expected_mining_seconds(18)
+        phone_rate = 1 / PHONE.expected_mining_seconds(18)
+        assert rig_rate / phone_rate > 100
+
+    def test_custom_profile(self):
+        custom = DeviceProfile("laptop", 1_000_000.0)
+        assert custom.expected_mining_seconds(20) == pytest.approx(
+            2**20 / 1e6
+        )

@@ -1,0 +1,32 @@
+"""Shared fixtures: deterministic RNG and hash-backend isolation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.hashing import get_hash_backend, set_hash_backend
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; reseed per test for reproducibility."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def poseidon_backend():
+    """Run a test under the genuine Poseidon backend, then restore."""
+    previous = get_hash_backend()
+    set_hash_backend("poseidon")
+    yield
+    set_hash_backend(previous)
+
+
+@pytest.fixture(autouse=True)
+def _restore_hash_backend():
+    """Guard against tests leaking a backend switch."""
+    previous = get_hash_backend()
+    yield
+    set_hash_backend(previous)

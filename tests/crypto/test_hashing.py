@@ -1,0 +1,70 @@
+"""Tests for hash-backend selection and byte hashing."""
+
+import pytest
+
+from repro.crypto.field import Fr
+from repro.crypto.hashing import (
+    available_backends,
+    blake2b_field_hash,
+    get_hash_backend,
+    hash1,
+    hash2,
+    hash_bytes_to_field,
+    set_hash_backend,
+)
+from repro.crypto.poseidon import poseidon_hash1, poseidon_hash2
+from repro.errors import FieldError
+
+
+class TestBackendRegistry:
+    def test_both_backends_registered(self):
+        assert set(available_backends()) == {"blake2b", "poseidon"}
+
+    def test_default_backend(self):
+        assert get_hash_backend() == "blake2b"
+
+    def test_switch_and_restore(self):
+        set_hash_backend("poseidon")
+        assert get_hash_backend() == "poseidon"
+        set_hash_backend("blake2b")
+        assert get_hash_backend() == "blake2b"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(FieldError):
+            set_hash_backend("md5")
+
+    def test_poseidon_backend_dispatches_to_poseidon(self, poseidon_backend):
+        assert hash1(Fr(7)) == poseidon_hash1(Fr(7))
+        assert hash2(Fr(7), Fr(8)) == poseidon_hash2(Fr(7), Fr(8))
+
+    def test_backends_disagree(self):
+        blake = blake2b_field_hash([Fr(7)])
+        assert blake != poseidon_hash1(Fr(7))
+
+
+class TestBlake2bFieldHash:
+    def test_deterministic(self):
+        assert blake2b_field_hash([Fr(1), Fr(2)]) == blake2b_field_hash(
+            [Fr(1), Fr(2)]
+        )
+
+    def test_arity_separation(self):
+        assert blake2b_field_hash([Fr(1)]) != blake2b_field_hash([Fr(1), Fr(0)])
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(FieldError):
+            blake2b_field_hash([Fr(1), Fr(2), Fr(3)])
+
+
+class TestBytesToField:
+    def test_deterministic(self):
+        assert hash_bytes_to_field(b"hello") == hash_bytes_to_field(b"hello")
+
+    def test_content_sensitivity(self):
+        assert hash_bytes_to_field(b"hello") != hash_bytes_to_field(b"hellp")
+
+    def test_domain_separation(self):
+        assert hash_bytes_to_field(b"x", "a") != hash_bytes_to_field(b"x", "b")
+
+    def test_empty_message_ok(self):
+        assert isinstance(hash_bytes_to_field(b""), Fr)

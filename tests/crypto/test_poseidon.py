@@ -1,0 +1,99 @@
+"""Tests for the Poseidon permutation and hash."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.field import Fr
+from repro.crypto.poseidon import (
+    FULL_ROUNDS,
+    PARTIAL_ROUNDS,
+    poseidon_hash,
+    poseidon_hash1,
+    poseidon_hash2,
+    poseidon_parameters,
+    poseidon_permutation,
+)
+from repro.errors import FieldError
+
+small_fr = st.integers(min_value=0, max_value=2**64).map(Fr)
+
+
+class TestParameters:
+    def test_round_counts_match_circomlib_schedule(self):
+        assert poseidon_parameters(2).partial_rounds == PARTIAL_ROUNDS[2] == 56
+        assert poseidon_parameters(3).partial_rounds == PARTIAL_ROUNDS[3] == 57
+        assert poseidon_parameters(3).full_rounds == FULL_ROUNDS == 8
+
+    def test_constant_count(self):
+        params = poseidon_parameters(3)
+        assert len(params.round_constants) == params.total_rounds * 3
+
+    def test_mds_is_square_and_nonzero(self):
+        params = poseidon_parameters(3)
+        assert len(params.mds) == 3
+        assert all(len(row) == 3 for row in params.mds)
+        assert all(not entry.is_zero() for row in params.mds for entry in row)
+
+    def test_parameters_deterministic(self):
+        assert poseidon_parameters(3) is poseidon_parameters(3)
+
+    def test_unsupported_width_rejected(self):
+        with pytest.raises(FieldError):
+            poseidon_parameters(17)
+
+    def test_mds_rows_distinct(self):
+        params = poseidon_parameters(3)
+        rows = {tuple(int(c) for c in row) for row in params.mds}
+        assert len(rows) == 3
+
+
+class TestPermutation:
+    def test_deterministic(self):
+        state = [Fr(1), Fr(2), Fr(3)]
+        assert poseidon_permutation(state) == poseidon_permutation(state)
+
+    def test_changes_state(self):
+        state = [Fr(0), Fr(0), Fr(0)]
+        assert poseidon_permutation(state) != state
+
+    def test_input_sensitivity(self):
+        a = poseidon_permutation([Fr(1), Fr(2), Fr(3)])
+        b = poseidon_permutation([Fr(1), Fr(2), Fr(4)])
+        assert a != b
+
+    def test_width_2_and_3_differ(self):
+        two = poseidon_permutation([Fr(1), Fr(2)])
+        three = poseidon_permutation([Fr(1), Fr(2), Fr(0)])
+        assert two[0] != three[0]
+
+
+class TestHash:
+    def test_arity_1_and_2(self):
+        assert isinstance(poseidon_hash1(Fr(5)), Fr)
+        assert isinstance(poseidon_hash2(Fr(5), Fr(6)), Fr)
+
+    def test_arity_domain_separation(self):
+        # H(x) must differ from H(x, 0): the sponge domain tag encodes arity.
+        assert poseidon_hash1(Fr(5)) != poseidon_hash2(Fr(5), Fr(0))
+
+    def test_order_matters(self):
+        assert poseidon_hash2(Fr(1), Fr(2)) != poseidon_hash2(Fr(2), Fr(1))
+
+    def test_rejects_bad_arity(self):
+        with pytest.raises(FieldError):
+            poseidon_hash([Fr(1), Fr(2), Fr(3)])
+        with pytest.raises(FieldError):
+            poseidon_hash([])
+
+    @settings(max_examples=20)
+    @given(small_fr, small_fr)
+    def test_no_trivial_collisions(self, a, b):
+        if a != b:
+            assert poseidon_hash1(a) != poseidon_hash1(b)
+
+    @settings(max_examples=10)
+    @given(small_fr)
+    def test_output_in_field(self, a):
+        digest = poseidon_hash1(a)
+        assert 0 <= int(digest) < Fr.MODULUS

@@ -1,0 +1,192 @@
+"""Tests for the discrete-event kernel, latency models and metrics."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.latency import LatencyModel, LogNormalLatency, UniformLatency
+from repro.sim.metrics import Histogram, MetricsRegistry
+from repro.sim.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda s: order.append("c"))
+        sim.schedule(1.0, lambda s: order.append("a"))
+        sim.schedule(2.0, lambda s: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda s: order.append(1))
+        sim.schedule(1.0, lambda s: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.5, lambda s: times.append(s.now))
+        sim.run()
+        assert times == [2.5]
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda s: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None)
+        sim.run()
+        hits = []
+        sim.schedule_at(5.0, lambda s: hits.append(s.now))
+        sim.run()
+        assert hits == [5.0]
+
+    def test_handlers_can_schedule_followups(self):
+        sim = Simulator()
+        hits = []
+
+        def first(s):
+            hits.append(s.now)
+            s.schedule(1.0, lambda s2: hits.append(s2.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert hits == [1.0, 2.0]
+
+    def test_cancellation(self):
+        sim = Simulator()
+        hits = []
+        handle = sim.schedule(1.0, lambda s: hits.append(1))
+        handle.cancel()
+        sim.run()
+        assert hits == []
+        assert handle.cancelled
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, lambda s: hits.append(1))
+        sim.schedule(10.0, lambda s: hits.append(10))
+        sim.run(until=5.0)
+        assert hits == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert hits == [1, 10]
+
+    def test_run_for_advances_relative(self):
+        sim = Simulator()
+        sim.run_for(3.0)
+        assert sim.now == 3.0
+        sim.run_for(2.0)
+        assert sim.now == 5.0
+
+
+class TestPeriodic:
+    def test_periodic_fires_repeatedly(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule_periodic(1.0, lambda s: hits.append(s.now))
+        sim.run(until=5.5)
+        assert hits == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_periodic_cancel(self):
+        sim = Simulator()
+        hits = []
+        cancel = sim.schedule_periodic(1.0, lambda s: hits.append(s.now))
+        sim.run(until=2.5)
+        cancel()
+        sim.run(until=10.0)
+        assert hits == [1.0, 2.0]
+
+    def test_zero_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_periodic(0.0, lambda s: None)
+
+    def test_jitter_stays_bounded(self):
+        sim = Simulator(seed=3)
+        hits = []
+        sim.schedule_periodic(1.0, lambda s: hits.append(s.now), jitter=0.1)
+        sim.run(until=20.0)
+        gaps = [b - a for a, b in zip(hits, hits[1:])]
+        assert all(1.0 <= gap <= 1.1001 for gap in gaps)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def trace(seed):
+            sim = Simulator(seed=seed)
+            values = []
+            sim.schedule_periodic(
+                1.0, lambda s: values.append(s.rng.random()), jitter=0.5
+            )
+            sim.run(until=10.0)
+            return values
+
+        assert trace(7) == trace(7)
+        assert trace(7) != trace(8)
+
+
+class TestLatencyModels:
+    def test_constant_model(self):
+        model = LatencyModel(base_seconds=0.2)
+        assert model.sample_latency(random.Random(0)) == 0.2
+
+    def test_uniform_bounds(self):
+        model = UniformLatency(base_seconds=0.1, spread_seconds=0.2)
+        rng = random.Random(0)
+        for _ in range(100):
+            sample = model.sample_latency(rng)
+            assert 0.1 <= sample <= 0.3
+
+    def test_lognormal_clamped(self):
+        model = LogNormalLatency(base_seconds=0.05, sigma=2.0, max_seconds=1.0)
+        rng = random.Random(0)
+        assert all(model.sample_latency(rng) <= 1.0 for _ in range(200))
+
+    def test_loss_probability(self):
+        model = LatencyModel(loss_probability=1.0)
+        assert model.sample_loss(random.Random(0))
+        lossless = LatencyModel(loss_probability=0.0)
+        assert not lossless.sample_loss(random.Random(0))
+
+
+class TestMetrics:
+    def test_histogram_stats(self):
+        hist = Histogram()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.mean == 2.5
+        assert hist.minimum == 1.0
+        assert hist.maximum == 4.0
+        assert hist.percentile(50) == 2.5
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 4.0
+
+    def test_empty_histogram(self):
+        hist = Histogram()
+        assert hist.mean == 0.0
+        assert hist.percentile(99) == 0.0
+        assert hist.stddev == 0.0
+
+    def test_registry(self):
+        metrics = MetricsRegistry()
+        metrics.increment("x")
+        metrics.increment("x", 4)
+        metrics.observe("lat", 0.5)
+        assert metrics.counter("x") == 5
+        assert metrics.counter("missing") == 0
+        assert metrics.histogram("lat").count == 1
+        assert "lat.mean" in metrics.summary()

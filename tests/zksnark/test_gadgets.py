@@ -1,0 +1,133 @@
+"""Tests for circuit gadgets against their native counterparts."""
+
+import pytest
+
+from repro.crypto.field import Fr
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.poseidon import poseidon_hash1, poseidon_hash2, poseidon_permutation
+from repro.crypto.zksnark.gadgets import (
+    conditional_swap_gadget,
+    merkle_path_gadget,
+    poseidon_hash_gadget,
+    poseidon_permutation_gadget,
+    sbox_gadget,
+)
+from repro.crypto.zksnark.r1cs import ConstraintSystem
+from repro.errors import CircuitError
+
+
+class TestSbox:
+    def test_matches_native_power(self):
+        cs = ConstraintSystem()
+        x = cs.alloc("x", Fr(7))
+        out = sbox_gadget(cs, x)
+        assert cs.evaluate(out) == Fr(7) ** 5
+
+    def test_costs_three_constraints(self):
+        cs = ConstraintSystem()
+        x = cs.alloc("x", Fr(3))
+        sbox_gadget(cs, x)
+        assert cs.num_constraints == 3
+
+
+class TestPoseidonGadget:
+    def test_permutation_matches_native_t3(self):
+        state = [Fr(1), Fr(2), Fr(3)]
+        cs = ConstraintSystem()
+        wires = [cs.alloc(f"s{i}", v) for i, v in enumerate(state)]
+        out = poseidon_permutation_gadget(cs, wires)
+        native = poseidon_permutation(state)
+        assert [cs.evaluate(w) for w in out] == native
+
+    def test_permutation_matches_native_t2(self):
+        state = [Fr(4), Fr(5)]
+        cs = ConstraintSystem()
+        wires = [cs.alloc(f"s{i}", v) for i, v in enumerate(state)]
+        out = poseidon_permutation_gadget(cs, wires)
+        assert [cs.evaluate(w) for w in out] == poseidon_permutation(state)
+
+    def test_hash_gadget_matches_native(self):
+        cs = ConstraintSystem()
+        a = cs.alloc("a", Fr(11))
+        b = cs.alloc("b", Fr(22))
+        assert cs.evaluate(poseidon_hash_gadget(cs, [a])) == poseidon_hash1(Fr(11))
+        assert cs.evaluate(poseidon_hash_gadget(cs, [a, b])) == poseidon_hash2(
+            Fr(11), Fr(22)
+        )
+
+    def test_hash_gadget_constraint_counts(self):
+        cs = ConstraintSystem()
+        a = cs.alloc("a", Fr(1))
+        poseidon_hash_gadget(cs, [a])
+        t2_cost = cs.num_constraints
+        assert t2_cost == 3 * (8 * 2 + 56)  # 216
+
+        cs2 = ConstraintSystem()
+        x = cs2.alloc("x", Fr(1))
+        y = cs2.alloc("y", Fr(2))
+        poseidon_hash_gadget(cs2, [x, y])
+        assert cs2.num_constraints == 3 * (8 * 3 + 57)  # 243
+
+    def test_bad_arity_rejected(self):
+        cs = ConstraintSystem()
+        a = cs.alloc("a", Fr(1))
+        with pytest.raises(CircuitError):
+            poseidon_hash_gadget(cs, [a, a, a])
+
+
+class TestConditionalSwap:
+    def test_bit_zero_keeps_order(self):
+        cs = ConstraintSystem()
+        bit = cs.alloc("bit", Fr(0))
+        left, right = conditional_swap_gadget(cs, bit, Fr(10), Fr(20))
+        assert cs.evaluate(left) == Fr(10)
+        assert cs.evaluate(right) == Fr(20)
+
+    def test_bit_one_swaps(self):
+        cs = ConstraintSystem()
+        bit = cs.alloc("bit", Fr(1))
+        left, right = conditional_swap_gadget(cs, bit, Fr(10), Fr(20))
+        assert cs.evaluate(left) == Fr(20)
+        assert cs.evaluate(right) == Fr(10)
+
+    def test_single_constraint(self):
+        cs = ConstraintSystem()
+        bit = cs.alloc("bit", Fr(1))
+        conditional_swap_gadget(cs, bit, Fr(1), Fr(2))
+        assert cs.num_constraints == 1
+
+
+class TestMerkleGadget:
+    def test_matches_native_tree(self, poseidon_backend):
+        tree = MerkleTree(4)
+        for i in range(5):
+            tree.insert(Fr(100 + i))
+        proof = tree.proof(3)
+        cs = ConstraintSystem()
+        leaf = cs.alloc("leaf", proof.leaf)
+        bits = [cs.alloc(f"b{i}", Fr(b)) for i, b in enumerate(proof.path_bits)]
+        sibs = [cs.alloc(f"s{i}", s) for i, s in enumerate(proof.siblings)]
+        root = merkle_path_gadget(cs, leaf, bits, sibs)
+        assert cs.evaluate(root) == tree.root
+
+    def test_per_level_cost(self):
+        cs = ConstraintSystem()
+        leaf = cs.alloc("leaf", Fr(0))
+        bits = [cs.alloc("b", Fr(0))]
+        zero = cs.alloc("z", Fr(0))
+        merkle_path_gadget(cs, leaf, bits, [zero])
+        assert cs.num_constraints == 1 + 1 + 243  # boolean + swap + hash
+
+    def test_length_mismatch_rejected(self):
+        cs = ConstraintSystem()
+        leaf = cs.alloc("leaf", Fr(0))
+        with pytest.raises(CircuitError):
+            merkle_path_gadget(cs, leaf, [Fr(0)], [])
+
+    def test_non_boolean_bit_rejected(self, poseidon_backend):
+        cs = ConstraintSystem()
+        leaf = cs.alloc("leaf", Fr(1))
+        bit = cs.alloc("bit", Fr(2))
+        sib = cs.alloc("sib", Fr(3))
+        with pytest.raises(CircuitError):
+            merkle_path_gadget(cs, leaf, [bit], [sib])

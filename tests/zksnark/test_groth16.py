@@ -1,0 +1,160 @@
+"""Tests for the simulated Groth16 backend."""
+
+import random
+
+import pytest
+
+from repro.constants import PROOF_SIZE_BYTES, PROVER_KEY_SIZE_BYTES
+from repro.crypto.field import Fr
+from repro.crypto.zksnark import groth16
+from repro.crypto.zksnark.groth16 import Proof, trusted_setup
+from repro.crypto.zksnark.r1cs import ConstraintSystem
+from repro.errors import ProofError, SerializationError
+
+
+class SquareStatement:
+    """Toy relation: public y, witness x, with y = x^2."""
+
+    def __init__(self, x: Fr, y: Fr) -> None:
+        self.x = x
+        self.y = y
+
+    def public_inputs(self):
+        return (self.y,)
+
+    def check_witness(self) -> bool:
+        return self.x * self.x == self.y
+
+    def synthesize(self) -> ConstraintSystem:
+        cs = ConstraintSystem()
+        y = cs.alloc_public("y", self.y)
+        x = cs.alloc("x", self.x)
+        cs.enforce(x, x, y, "square")
+        return cs
+
+
+@pytest.fixture
+def keys():
+    return trusted_setup("square", num_public_inputs=1, seed=b"test")
+
+
+class TestSetup:
+    def test_deterministic_with_seed(self):
+        pk1, vk1 = trusted_setup("c", 1, seed=b"s")
+        pk2, vk2 = trusted_setup("c", 1, seed=b"s")
+        assert vk1.binding_key == vk2.binding_key
+
+    def test_random_without_seed(self):
+        _, vk1 = trusted_setup("c", 1)
+        _, vk2 = trusted_setup("c", 1)
+        assert vk1.binding_key != vk2.binding_key
+
+    def test_prover_key_models_paper_size(self):
+        from repro.crypto.zksnark.groth16 import ProvingKey
+
+        pk, _ = trusted_setup("c", 1)
+        assert pk.size_bytes == PROVER_KEY_SIZE_BYTES
+        reference = ProvingKey._REFERENCE_CONSTRAINTS
+        pk_ref, _ = trusted_setup("c", 1, num_constraints=reference)
+        assert pk_ref.size_bytes == PROVER_KEY_SIZE_BYTES
+        pk_half, _ = trusted_setup("c", 1, num_constraints=reference // 2)
+        assert pk_half.size_bytes == pytest.approx(
+            PROVER_KEY_SIZE_BYTES / 2, rel=0.01
+        )
+
+
+class TestProveVerify:
+    def test_valid_witness_proves_and_verifies(self, keys):
+        pk, vk = keys
+        statement = SquareStatement(Fr(4), Fr(16))
+        proof = groth16.prove(pk, statement)
+        assert groth16.verify(vk, proof, statement.public_inputs())
+
+    def test_invalid_witness_refused(self, keys):
+        pk, _ = keys
+        with pytest.raises(ProofError):
+            groth16.prove(pk, SquareStatement(Fr(4), Fr(17)))
+
+    def test_r1cs_mode(self, keys):
+        pk, vk = keys
+        statement = SquareStatement(Fr(5), Fr(25))
+        proof = groth16.prove(pk, statement, mode="r1cs")
+        assert groth16.verify(vk, proof, statement.public_inputs())
+
+    def test_unknown_mode_rejected(self, keys):
+        pk, _ = keys
+        with pytest.raises(ProofError):
+            groth16.prove(pk, SquareStatement(Fr(2), Fr(4)), mode="magic")
+
+    def test_wrong_public_inputs_fail_verification(self, keys):
+        pk, vk = keys
+        proof = groth16.prove(pk, SquareStatement(Fr(4), Fr(16)))
+        assert not groth16.verify(vk, proof, (Fr(17),))
+
+    def test_wrong_public_input_count_fails(self, keys):
+        pk, vk = keys
+        proof = groth16.prove(pk, SquareStatement(Fr(4), Fr(16)))
+        assert not groth16.verify(vk, proof, (Fr(16), Fr(16)))
+
+    def test_proof_not_transferable_across_circuits(self, keys):
+        pk, _ = keys
+        _, other_vk = trusted_setup("other-circuit", 1, seed=b"test2")
+        proof = groth16.prove(pk, SquareStatement(Fr(4), Fr(16)))
+        assert not groth16.verify(other_vk, proof, (Fr(16),))
+
+    def test_tampered_proof_fails(self, keys):
+        pk, vk = keys
+        statement = SquareStatement(Fr(4), Fr(16))
+        proof = groth16.prove(pk, statement)
+        tampered = Proof(pi_a=proof.pi_a, pi_b=proof.pi_b, pi_c=bytes(32))
+        assert not groth16.verify(vk, tampered, statement.public_inputs())
+
+    def test_statement_public_count_mismatch(self):
+        pk, _ = trusted_setup("square", num_public_inputs=2, seed=b"t")
+        with pytest.raises(ProofError):
+            groth16.prove(pk, SquareStatement(Fr(2), Fr(4)))
+
+
+class TestZeroKnowledgeShape:
+    def test_proofs_randomised(self, keys):
+        pk, vk = keys
+        statement = SquareStatement(Fr(4), Fr(16))
+        p1 = groth16.prove(pk, statement)
+        p2 = groth16.prove(pk, statement)
+        assert p1 != p2  # unlinkable
+        assert groth16.verify(vk, p1, statement.public_inputs())
+        assert groth16.verify(vk, p2, statement.public_inputs())
+
+    def test_deterministic_with_rng(self, keys):
+        pk, _ = keys
+        statement = SquareStatement(Fr(4), Fr(16))
+        p1 = groth16.prove(pk, statement, rng=random.Random(1))
+        p2 = groth16.prove(pk, statement, rng=random.Random(1))
+        assert p1 == p2
+
+    def test_proof_independent_of_witness_values(self, keys):
+        # Two different witnesses for the same public input (x and -x)
+        # produce identically distributed proofs under the same rng.
+        pk, _ = keys
+        a = SquareStatement(Fr(4), Fr(16))
+        b = SquareStatement(Fr(-4), Fr(16))
+        pa = groth16.prove(pk, a, rng=random.Random(9))
+        pb = groth16.prove(pk, b, rng=random.Random(9))
+        assert pa == pb  # nothing about the witness enters the proof
+
+
+class TestProofSerialization:
+    def test_roundtrip(self, keys):
+        pk, _ = keys
+        proof = groth16.prove(pk, SquareStatement(Fr(3), Fr(9)))
+        assert Proof.from_bytes(proof.to_bytes()) == proof
+
+    def test_constant_size(self, keys):
+        pk, _ = keys
+        proof = groth16.prove(pk, SquareStatement(Fr(3), Fr(9)))
+        assert len(proof.to_bytes()) == PROOF_SIZE_BYTES == 128
+        assert proof.size_bytes == 128
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(SerializationError):
+            Proof.from_bytes(b"\x00" * 127)
