@@ -2,14 +2,17 @@
 
 Usage::
 
-    python -m repro.analysis            # all experiments
-    python -m repro.analysis e1 e5 e7   # a subset
+    python -m repro.analysis                        # all experiments
+    python -m repro.analysis e1 e5 e7               # a subset
+    python -m repro.analysis list-scenarios         # scenario registry
+    python -m repro.analysis run-scenario burst-spammer --peers 200
 
 The output of a full run is what EXPERIMENTS.md records.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 
 from . import (
@@ -81,7 +84,59 @@ EXPERIMENTS = {
 }
 
 
+def _run_scenario_command(argv) -> int:
+    """``run-scenario <name> [--peers N] [--duration S] [--seed K] [--json]``"""
+    from ..errors import ScenarioError
+    from ..scenarios import run_scenario, scenario, scenario_names
+
+    if not argv:
+        print(f"usage: run-scenario <name>; choose from {scenario_names()}")
+        return 1
+    name, flags = argv[0], argv[1:]
+    overrides = {"peers": None, "duration": None, "seed": None}
+    as_json = False
+    i = 0
+    while i < len(flags):
+        flag = flags[i]
+        if flag == "--json":
+            as_json = True
+            i += 1
+            continue
+        key = flag.lstrip("-")
+        if key not in overrides or i + 1 >= len(flags):
+            print(f"unknown or valueless flag {flag!r}")
+            return 1
+        caster = float if key == "duration" else int
+        try:
+            overrides[key] = caster(flags[i + 1])
+        except ValueError:
+            print(f"flag {flag!r} expects a number, got {flags[i + 1]!r}")
+            return 1
+        i += 2
+    try:
+        result = run_scenario(scenario(name), **overrides)
+    except ScenarioError as exc:
+        print(str(exc))
+        return 1
+    print(json.dumps(result.to_dict()) if as_json else result.format())
+    return 0
+
+
+def _list_scenarios() -> int:
+    from ..scenarios import all_scenarios
+
+    for spec in all_scenarios():
+        print(f"{spec.name}")
+        print(f"    peers={spec.peers} duration={spec.duration}s")
+        print(f"    {spec.description}")
+    return 0
+
+
 def main(argv) -> int:
+    if argv and argv[0] == "run-scenario":
+        return _run_scenario_command(argv[1:])
+    if argv and argv[0] == "list-scenarios":
+        return _list_scenarios()
     selected = [a.lower() for a in argv] or list(EXPERIMENTS)
     unknown = [s for s in selected if s not in EXPERIMENTS]
     if unknown:
@@ -94,5 +149,29 @@ def main(argv) -> int:
     return 0
 
 
+def _reexec_with_stable_hashing() -> None:
+    """Pin ``PYTHONHASHSEED`` so scenario runs are reproducible *across*
+    processes, not just within one.
+
+    Gossip meshes are sets of peer ids; their iteration order decides
+    the order in which per-link latencies are drawn from the seeded RNG,
+    and that order follows Python's (normally randomised) string
+    hashing. Seeding alone therefore only fixes results within a single
+    interpreter — the CLI re-executes itself once with deterministic
+    hashing so ``run-scenario`` fingerprints are stable run-to-run.
+    """
+    import os
+
+    if os.environ.get("PYTHONHASHSEED") == "0":
+        return
+    env = dict(os.environ, PYTHONHASHSEED="0")
+    os.execve(
+        sys.executable,
+        [sys.executable, "-m", "repro.analysis", *sys.argv[1:]],
+        env,
+    )
+
+
 if __name__ == "__main__":
+    _reexec_with_stable_hashing()
     raise SystemExit(main(sys.argv[1:]))

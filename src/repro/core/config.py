@@ -51,6 +51,12 @@ class ProtocolConfig:
     #: When True, modeled zkSNARK latencies delay publish/validation in
     #: simulated time (the paper's 0.5 s prove / 30 ms verify figures).
     model_crypto_latency: bool = False
+    #: Capacity of the deployment-wide zkSNARK verification cache shared
+    #: by all routers (every peer holds the same verifying key, so the
+    #: pairing-check outcome for a given (publics, proof) pair is
+    #: network-global). 0 disables the cache — every router verifies
+    #: every signal itself, the paper's naive per-message cost model.
+    verification_cache_size: int = 0
     performance_model: PerformanceModel = DEFAULT_PERFORMANCE_MODEL
     gossip: GossipSubParams = field(default_factory=GossipSubParams)
 

@@ -55,14 +55,34 @@ class NullifierMap:
         ``(DOUBLE_SIGNAL, prior)`` where ``prior`` is the conflicting
         earlier record (the second Shamir share needed for slashing).
         """
-        bucket = self._epochs.setdefault(signal.epoch, {})
-        prior = bucket.get(signal.internal_nullifier)
-        if prior is None:
-            bucket[signal.internal_nullifier] = NullifierRecord(
+        check, prior = self.peek(signal)
+        if check is NullifierCheck.NEW:
+            self._epochs.setdefault(signal.epoch, {})[
+                signal.internal_nullifier
+            ] = NullifierRecord(
                 share_x=signal.share.x,
                 share_y=signal.share.y,
                 signal=signal,
             )
+        return check, prior
+
+    def peek(
+        self, signal: RlnSignal
+    ) -> Tuple[NullifierCheck, Optional[NullifierRecord]]:
+        """Classify ``signal`` without recording it.
+
+        A DUPLICATE means a signal with the same ``(epoch, phi, x)``
+        was recorded earlier; callers wanting to skip re-verification
+        must additionally compare the returned record's ``signal`` for
+        full equality (same abscissa does not imply same proof bytes).
+        """
+        bucket = self._epochs.get(signal.epoch)
+        prior = (
+            bucket.get(signal.internal_nullifier)
+            if bucket is not None
+            else None
+        )
+        if prior is None:
             return NullifierCheck.NEW, None
         if prior.share_x == signal.share.x:
             return NullifierCheck.DUPLICATE, prior

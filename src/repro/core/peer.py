@@ -27,7 +27,7 @@ from ..net.network import Network, NodeId
 from ..rln.membership import LocalGroup
 from ..rln.prover import RlnProver
 from ..rln.slashing import SlashingEvidence
-from ..rln.verifier import RlnVerifier
+from ..rln.verifier import RlnVerifier, VerificationCache
 from ..waku.message import WakuMessage
 from ..waku.relay import WakuRelayNode
 from ..gossipsub.router import ValidationResult
@@ -68,6 +68,7 @@ class WakuRlnRelayPeer:
         rng=None,
         initial_balance_wei: Optional[int] = None,
         clock_skew: float = 0.0,
+        verification_cache: Optional[VerificationCache] = None,
     ) -> None:
         self.node_id = node_id
         self.network = network
@@ -89,6 +90,8 @@ class WakuRlnRelayPeer:
             verifying_key=verifying_key,
             root_predicate=self.group.is_acceptable_root,
             domain=config.domain,
+            cache=verification_cache,
+            metrics=network.metrics,
         )
         self.validator = RlnMessageValidator(
             verifier=verifier,
@@ -181,6 +184,36 @@ class WakuRlnRelayPeer:
                 self._membership_events_applied += 1
                 applied += 1
         return applied
+
+    def adopt_sync_state(
+        self,
+        reference: "WakuRlnRelayPeer",
+        leaf_index: Optional[int] = None,
+    ) -> int:
+        """Copy an up-to-date peer's synced membership view (bootstrap
+        fast path used by ``register_all``).
+
+        Equivalent to calling :meth:`sync` over the same event log —
+        group sync is deterministic — but replicating the reference's
+        tree costs no hashing. ``leaf_index`` is this peer's own slot
+        if the caller already knows it (``register_all`` builds one
+        index for all peers; the fallback scan here is O(members)).
+        Returns the number of events adopted.
+        """
+        adopted = (
+            reference._membership_events_applied
+            - self._membership_events_applied
+        )
+        self.group.replicate_from(reference.group)
+        self._synced_log_index = reference._synced_log_index
+        self._membership_events_applied = (
+            reference._membership_events_applied
+        )
+        if leaf_index is None:
+            leaf_index = self.group.tree.find_leaf(self.commitment.element)
+        if leaf_index is not None:
+            self.leaf_index = leaf_index
+        return adopted
 
     # -- lifecycle ---------------------------------------------------------------
 

@@ -19,12 +19,13 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from ..constants import ETH_BLOCK_INTERVAL_SECONDS
-from ..errors import RegistrationError
+from ..errors import NetworkError, RegistrationError
 from ..eth.chain import Blockchain
 from ..eth.contracts import MembershipRegistry, OnChainTreeContract
-from ..net.network import Network
+from ..net.network import Network, NodeId
 from ..net.topology import connect_full_mesh, connect_random_regular
 from ..rln.prover import rln_keys
+from ..rln.verifier import VerificationCache
 from ..sim.latency import LatencyModel, UniformLatency
 from ..sim.metrics import MetricsRegistry
 from ..sim.simulator import Simulator
@@ -77,19 +78,21 @@ class WakuRlnRelayNetwork:
         proving_key, verifying_key = rln_keys(seed=seed.to_bytes(8, "big"))
         self.proving_key = proving_key
         self.verifying_key = verifying_key
+        #: Deployment-wide proof-verification memo (None = naive mode).
+        self.verification_cache: Optional[VerificationCache] = (
+            VerificationCache(self.config.verification_cache_size)
+            if self.config.verification_cache_size > 0
+            else None
+        )
 
+        self._degree = degree
+        self._next_peer_index = peer_count
+        self.departed: List[WakuRlnRelayPeer] = []
+        self._peer_added_callbacks: List[
+            Callable[[WakuRlnRelayPeer], None]
+        ] = []
         self.peers: List[WakuRlnRelayPeer] = [
-            WakuRlnRelayPeer(
-                node_id=f"peer-{i}",
-                network=self.network,
-                chain=self.chain,
-                contract_address=CONTRACT_ADDRESS,
-                config=self.config,
-                proving_key=proving_key,
-                verifying_key=verifying_key,
-                rng=self.simulator.rng,
-            )
-            for i in range(peer_count)
+            self._build_peer(f"peer-{i}") for i in range(peer_count)
         ]
         ids = [p.node_id for p in self.peers]
         if degree is None or peer_count <= degree + 1:
@@ -100,15 +103,95 @@ class WakuRlnRelayNetwork:
             connect_random_regular(self.network, ids, degree, seed=seed)
         self._miner_cancel: Optional[Callable[[], None]] = None
 
+    def _build_peer(self, node_id: NodeId) -> WakuRlnRelayPeer:
+        return WakuRlnRelayPeer(
+            node_id=node_id,
+            network=self.network,
+            chain=self.chain,
+            contract_address=CONTRACT_ADDRESS,
+            config=self.config,
+            proving_key=self.proving_key,
+            verifying_key=self.verifying_key,
+            rng=self.simulator.rng,
+            verification_cache=self.verification_cache,
+        )
+
+    # -- churn ------------------------------------------------------------------
+
+    def on_peer_added(
+        self, callback: Callable[[WakuRlnRelayPeer], None]
+    ) -> None:
+        """Observe peers joining mid-run (e.g. to attach recorders)."""
+        self._peer_added_callbacks.append(callback)
+
+    def add_peer(
+        self, register: bool = True, start: bool = True
+    ) -> WakuRlnRelayPeer:
+        """Join a fresh peer mid-simulation (churn model).
+
+        The newcomer dials ``degree`` random live peers, optionally
+        submits its registration transaction (mined with the next
+        block), and starts relaying; its periodic sync replays the full
+        contract event log, converging its tree with the incumbents'.
+        """
+        peer = self._build_peer(f"peer-{self._next_peer_index}")
+        self._next_peer_index += 1
+        rng = self.simulator.rng
+        alive = [p.node_id for p in self.peers]
+        fanout = self._degree if self._degree is not None else len(alive)
+        for neighbor in rng.sample(alive, min(fanout, len(alive))):
+            self.network.connect(peer.node_id, neighbor)
+        self.peers.append(peer)
+        if register:
+            peer.register()
+        if start:
+            peer.start()
+        for callback in self._peer_added_callbacks:
+            callback(peer)
+        return peer
+
+    def remove_peer(self, node_id: NodeId) -> WakuRlnRelayPeer:
+        """Churn a peer out: stop its tasks and drop it (and its links)
+        from the network. Its stake stays locked in the contract."""
+        index = next(
+            (i for i, p in enumerate(self.peers) if p.node_id == node_id),
+            None,
+        )
+        if index is None:
+            raise NetworkError(f"no live peer named {node_id!r} to remove")
+        peer = self.peers.pop(index)
+        peer.stop()
+        self.network.detach(node_id)
+        self.departed.append(peer)
+        return peer
+
     # -- deployment steps -------------------------------------------------------
 
     def register_all(self) -> None:
-        """Register every peer and settle the transactions immediately."""
+        """Register every peer and settle the transactions immediately.
+
+        One reference peer replays the event log; the rest adopt its
+        replica (group sync is deterministic, so the outcome is
+        identical), turning bootstrap from O(peers^2) tree insertions
+        into one sync plus O(peers) state copies.
+        """
         for peer in self.peers:
             peer.register()
         self.chain.mine_block(timestamp=self.simulator.now)
-        for peer in self.peers:
-            peer.sync()
+        if not self.peers:
+            return
+        reference = self.peers[0]
+        reference.sync()
+        # One pass over the reference tree gives every peer its slot,
+        # keeping bootstrap linear in the number of peers. First
+        # occurrence wins, matching MerkleTree.find_leaf.
+        index_of: Dict = {}
+        for i, leaf in enumerate(reference.group.tree.leaves()):
+            index_of.setdefault(leaf, i)
+        for peer in self.peers[1:]:
+            peer.adopt_sync_state(
+                reference, index_of.get(peer.commitment.element)
+            )
 
     def start(self, mine_blocks: bool = True) -> None:
         """Start relays, periodic peer tasks and (optionally) the miner."""

@@ -26,7 +26,7 @@ from typing import Callable, List, Optional
 from ..errors import SerializationError
 from ..rln.signal import RlnSignal
 from ..rln.slashing import SlashingEvidence, detect_double_signal
-from ..rln.verifier import RlnVerifier, SignalCheck
+from ..rln.verifier import RlnVerifier, SignalCheck, SignalEntry
 from ..sim.metrics import MetricsRegistry
 from .epoch import EpochTracker
 from .nullifier_map import NullifierCheck, NullifierMap
@@ -70,20 +70,57 @@ class RlnMessageValidator:
         self.spam_callbacks.append(callback)
 
     def validate_bytes(self, raw_signal: Optional[bytes]) -> ValidationReport:
-        """Validate a serialized signal (``None`` = missing proof field)."""
+        """Validate a serialized signal (``None`` = missing proof field).
+
+        With a (shared) verification cache attached, the deserialized
+        signal and its stateless-check progress are memoised by the raw
+        bytes, so a signal the mesh delivers to thousands of routers is
+        parsed and proof-checked once network-wide.
+        """
         if raw_signal is None:
             self.metrics.increment("validator.missing_proof")
             return ValidationReport(ValidationOutcome.REJECT_MALFORMED)
-        try:
-            signal = RlnSignal.from_bytes(raw_signal)
-        except SerializationError:
+        cache = self.verifier.cache
+        entry: Optional[SignalEntry] = None
+        if cache is not None:
+            entry = cache.get(raw_signal)
+        if entry is None:
+            try:
+                signal = RlnSignal.from_bytes(raw_signal)
+            except SerializationError:
+                if cache is not None:
+                    cache.put(raw_signal, SignalEntry(signal=None))
+                self.metrics.increment("validator.malformed")
+                return ValidationReport(ValidationOutcome.REJECT_MALFORMED)
+            entry = SignalEntry(signal)
+            if cache is not None:
+                cache.put(raw_signal, entry)
+        elif entry.signal is None:
             self.metrics.increment("validator.malformed")
             return ValidationReport(ValidationOutcome.REJECT_MALFORMED)
-        return self.validate(signal)
+        return self.validate(entry.signal, entry)
 
-    def validate(self, signal: RlnSignal) -> ValidationReport:
+    def validate(
+        self, signal: RlnSignal, entry: Optional[SignalEntry] = None
+    ) -> ValidationReport:
+        # 0. duplicate fast path: a copy of the exact signal recorded
+        # for this (epoch, phi) already survived the full pipeline
+        # once, so it can be ignored without re-running verification.
+        # Field-for-field equality is required — a *tampered* variant
+        # (same share abscissa, different y/proof bytes) must fall
+        # through to the crypto checks so it is REJECTed (P4 penalty),
+        # exactly as before this fast path existed.
+        peeked, prior_record = self.nullifier_map.peek(signal)
+        if (
+            peeked is NullifierCheck.DUPLICATE
+            and prior_record is not None
+            and prior_record.signal == signal
+        ):
+            self.metrics.increment("validator.duplicates")
+            self.metrics.increment("validator.duplicate_fast_path")
+            return ValidationReport(ValidationOutcome.IGNORE_DUPLICATE, signal)
         # 1. cryptographic checks (proof, root, share binding).
-        check = self.verifier.check(signal)
+        check = self.verifier.check(signal, entry)
         if check is not SignalCheck.VALID:
             self.metrics.increment(f"validator.{check.value}")
             return ValidationReport(

@@ -123,6 +123,21 @@ class MerkleTree:
         self._next_index += 1
         return index
 
+    def clone(self) -> "MerkleTree":
+        """An independent copy with identical contents.
+
+        Copying materialised nodes is ~20x cheaper than replaying the
+        insertions that produced them (no hashing); the zero-subtree
+        table is immutable and shared.
+        """
+        other = MerkleTree.__new__(MerkleTree)
+        other.depth = self.depth
+        other.capacity = self.capacity
+        other._zeros = self._zeros
+        other._nodes = dict(self._nodes)
+        other._next_index = self._next_index
+        return other
+
     def update(self, index: int, leaf: Fr) -> None:
         """Overwrite an existing slot (member deletion writes zero)."""
         self._check_index(index)

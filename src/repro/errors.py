@@ -93,3 +93,7 @@ class RegistrationError(ReproError):
 
 class SyncError(ReproError):
     """Local membership tree is out of sync with the contract."""
+
+
+class ScenarioError(ReproError):
+    """Invalid scenario specification or unknown scenario name."""

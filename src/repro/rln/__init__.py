@@ -6,7 +6,7 @@ from .nullifier import external_nullifier, internal_nullifier, line_coefficient
 from .prover import RlnProver, rln_keys
 from .signal import RlnSignal
 from .slashing import SlashingEvidence, detect_double_signal
-from .verifier import RlnVerifier, SignalCheck
+from .verifier import RlnVerifier, SignalCheck, VerificationCache
 
 __all__ = [
     "RlnStatement",
@@ -22,6 +22,7 @@ __all__ = [
     "RlnSignal",
     "RlnVerifier",
     "SignalCheck",
+    "VerificationCache",
     "SlashingEvidence",
     "detect_double_signal",
 ]

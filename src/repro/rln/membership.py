@@ -84,6 +84,27 @@ class LocalGroup:
         self.applied_events += 1
         self._remember_root(self.tree.root)
 
+    def replicate_from(self, other: "LocalGroup") -> None:
+        """Adopt another replica's synced state wholesale.
+
+        Group synchronization is deterministic — every honest replica
+        that applied the same event prefix holds the same tree and root
+        window — so a freshly bootstrapped peer may copy an up-to-date
+        replica instead of replaying the whole event log. Behaviourally
+        identical to applying the same events one by one, including the
+        remembered intermediate roots.
+        """
+        if other.tree.depth != self.tree.depth:
+            raise SyncError(
+                f"cannot replicate a depth-{other.tree.depth} tree into a "
+                f"depth-{self.tree.depth} replica"
+            )
+        if other.root_window != self.root_window:
+            raise SyncError("replicas disagree on the root-window size")
+        self.tree = other.tree.clone()
+        self._recent_roots = OrderedDict(other._recent_roots)
+        self.applied_events = other.applied_events
+
     def _check_sequence(self, event_index: int) -> None:
         if event_index != self.applied_events:
             raise SyncError(

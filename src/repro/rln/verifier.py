@@ -14,16 +14,21 @@ cryptographic ones, leaving the epoch-window check to
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 from ..crypto.field import Fr
 from ..crypto.hashing import hash_bytes_to_field
 from ..crypto.zksnark import groth16
 from ..crypto.zksnark.groth16 import VerifyingKey
+from ..sim.metrics import MetricsRegistry
 from .nullifier import external_nullifier
 from .signal import RlnSignal
+
+#: Default capacity of a :class:`VerificationCache`.
+DEFAULT_VERIFICATION_CACHE_SIZE = 4096
 
 
 class SignalCheck(Enum):
@@ -36,6 +41,92 @@ class SignalCheck(Enum):
     BAD_EXTERNAL_NULLIFIER = "bad_external_nullifier"
 
 
+class PureCheck(Enum):
+    """Progress of the *stateless* checks for one distinct signal.
+
+    These checks — external-nullifier derivation, share/message binding
+    and the zkSNARK pairing check — depend only on the signal itself
+    (plus the deployment's verifying key and domain), so their outcome
+    is identical at every router and can be computed once network-wide.
+    The root-window, epoch-window and nullifier-map checks are per-router
+    state and are never cached.
+    """
+
+    BAD_EXTERNAL_NULLIFIER = "bad_external_nullifier"
+    BAD_SHARE_BINDING = "bad_share_binding"
+    #: Nullifier + binding passed; the proof itself not yet verified
+    #: (first router rejected the root before reaching the proof).
+    BINDING_OK = "binding_ok"
+    VALID = "valid"
+    INVALID_PROOF = "invalid_proof"
+
+
+@dataclass
+class SignalEntry:
+    """One distinct signal's cached parse + pure-check progress.
+
+    ``signal`` is ``None`` for raw bytes that failed to deserialize
+    (malformed spam is also worth remembering network-wide).
+    """
+
+    signal: Optional[RlnSignal]
+    state: Optional[PureCheck] = None
+
+
+class VerificationCache:
+    """Bounded LRU memo of per-signal verification work.
+
+    Routers may *share* one cache: every peer of a deployment holds the
+    same verifying key and domain, so the deserialized signal and the
+    outcome of its stateless checks (:class:`PureCheck`) are
+    network-global facts. A signal verified by the first honest router
+    costs every later router a dictionary lookup instead of field
+    parsing, two hashes and a pairing check — the batched-verification
+    fast path that makes 5k-peer scenarios tractable.
+
+    Do **not** share a cache between verifiers with different verifying
+    keys or domain tags; the memoised outcomes would not transfer.
+    """
+
+    def __init__(
+        self, max_entries: int = DEFAULT_VERIFICATION_CACHE_SIZE
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("cache needs room for at least one entry")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[object, SignalEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: object) -> Optional[SignalEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: object, entry: SignalEntry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _pure_key(signal: RlnSignal) -> Tuple:
+    """Cache key for a signal reached without its wire encoding."""
+    return (signal.epoch, signal.message, *signal.public_inputs(), signal.proof)
+
+
 @dataclass
 class RlnVerifier:
     """Verifies signals against a synced view of the membership group.
@@ -43,28 +134,82 @@ class RlnVerifier:
     ``root_predicate`` decides whether a Merkle root is acceptable —
     typically :meth:`LocalGroup.is_acceptable_root` of the router's
     replica. ``domain`` must match the publishers' domain tag.
+
+    ``cache`` (optional, usually shared by every router of a deployment)
+    memoises the stateless checks; ``metrics`` counts raw zkSNARK
+    verifications and cache reuse under ``rln.proof_verifications`` /
+    ``rln.proof_cache_hits``.
     """
 
     verifying_key: VerifyingKey
     root_predicate: Callable[[Fr], bool]
     domain: Optional[str] = None
+    cache: Optional[VerificationCache] = None
+    metrics: Optional[MetricsRegistry] = None
 
-    def check(self, signal: RlnSignal) -> SignalCheck:
+    def check(
+        self, signal: RlnSignal, entry: Optional[SignalEntry] = None
+    ) -> SignalCheck:
         """Classify a signal; :data:`SignalCheck.VALID` means relayable
-        (pending the epoch/nullifier-map checks at the peer layer)."""
-        if signal.external_nullifier != external_nullifier(
-            signal.epoch, self.domain
-        ):
+        (pending the epoch/nullifier-map checks at the peer layer).
+
+        Check order is identical with and without a cache: nullifier,
+        share binding, root window, proof — so enabling the cache never
+        changes an outcome, only the work done to reach it.
+        """
+        if entry is None:
+            if self.cache is not None:
+                key = _pure_key(signal)
+                entry = self.cache.get(key)
+                if entry is None:
+                    entry = SignalEntry(signal)
+                    self.cache.put(key, entry)
+            else:
+                entry = SignalEntry(signal)
+
+        state = entry.state
+        if state is None:
+            state = self._check_binding(signal)
+            entry.state = state
+        if state is PureCheck.BAD_EXTERNAL_NULLIFIER:
             return SignalCheck.BAD_EXTERNAL_NULLIFIER
-        if signal.share.x != hash_bytes_to_field(signal.message):
+        if state is PureCheck.BAD_SHARE_BINDING:
             return SignalCheck.BAD_SHARE_BINDING
         if not self.root_predicate(signal.merkle_root):
             return SignalCheck.UNKNOWN_ROOT
-        if not groth16.verify(
-            self.verifying_key, signal.proof, signal.public_inputs()
+        if state is PureCheck.BINDING_OK:
+            state = (
+                PureCheck.VALID
+                if self._verify_proof(signal)
+                else PureCheck.INVALID_PROOF
+            )
+            entry.state = state
+        elif self.metrics is not None:
+            # Only count a hit when the memoised proof outcome actually
+            # replaced a pairing check this router would have run (the
+            # naive path never verifies signals it rejects earlier).
+            self.metrics.increment("rln.proof_cache_hits")
+        return (
+            SignalCheck.VALID
+            if state is PureCheck.VALID
+            else SignalCheck.INVALID_PROOF
+        )
+
+    def _check_binding(self, signal: RlnSignal) -> PureCheck:
+        if signal.external_nullifier != external_nullifier(
+            signal.epoch, self.domain
         ):
-            return SignalCheck.INVALID_PROOF
-        return SignalCheck.VALID
+            return PureCheck.BAD_EXTERNAL_NULLIFIER
+        if signal.share.x != hash_bytes_to_field(signal.message):
+            return PureCheck.BAD_SHARE_BINDING
+        return PureCheck.BINDING_OK
+
+    def _verify_proof(self, signal: RlnSignal) -> bool:
+        if self.metrics is not None:
+            self.metrics.increment("rln.proof_verifications")
+        return groth16.verify(
+            self.verifying_key, signal.proof, signal.public_inputs()
+        )
 
     def is_valid(self, signal: RlnSignal) -> bool:
         return self.check(signal) is SignalCheck.VALID

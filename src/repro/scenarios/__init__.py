@@ -1,0 +1,38 @@
+"""Declarative scenario harness for large-scale adversarial runs.
+
+Compose topology, traffic, adversaries and churn into named,
+seed-deterministic workloads::
+
+    from repro.scenarios import run_scenario, scenario
+
+    result = run_scenario(scenario("burst-spammer"), peers=200)
+    print(result.format())
+
+or from the command line::
+
+    python -m repro.analysis run-scenario burst-spammer --peers 200
+"""
+
+from .registry import (
+    all_scenarios,
+    register_scenario,
+    scenario,
+    scenario_names,
+)
+from .result import ScenarioResult
+from .runner import ScenarioRunner, run_scenario
+from .spec import AdversaryMix, ChurnModel, ScenarioSpec, TrafficModel
+
+__all__ = [
+    "AdversaryMix",
+    "ChurnModel",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "TrafficModel",
+    "all_scenarios",
+    "register_scenario",
+    "run_scenario",
+    "scenario",
+    "scenario_names",
+]

@@ -1,0 +1,109 @@
+"""Uniform metrics object every scenario run produces.
+
+All fields except ``wall_clock_seconds`` are deterministic for a given
+``(spec, seed)`` — equality and :meth:`ScenarioResult.fingerprint`
+exclude wall-clock so two runs of the same scenario compare equal even
+though the host machine's speed differs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ScenarioResult:
+    """What one scenario run measured."""
+
+    scenario: str
+    seed: int
+    peers_started: int
+    peers_final: int
+    joined: int
+    left: int
+    #: Honest traffic.
+    honest_published: int
+    honest_delivered: int
+    delivery_rate: float
+    #: Adversarial traffic.
+    spam_published: int
+    spam_delivered: int
+    spam_per_honest_peer: float
+    #: Enforcement.
+    slashes_submitted: int
+    members_slashed: int
+    #: Verification work (the hot path the cache batches away).
+    proof_verifications: int
+    verification_cache_hits: int
+    #: Selected validator/router counters (validator.*, gossipsub.*).
+    counters: Dict[str, int] = field(default_factory=dict)
+    sim_time: float = 0.0
+    events_processed: int = 0
+    #: Host-dependent; excluded from equality and the fingerprint.
+    wall_clock_seconds: float = field(default=0.0, compare=False)
+    #: Scenario-specific extra measurements (e.g. baseline comparison).
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self, include_wall_clock: bool = True) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "peers_started": self.peers_started,
+            "peers_final": self.peers_final,
+            "joined": self.joined,
+            "left": self.left,
+            "honest_published": self.honest_published,
+            "honest_delivered": self.honest_delivered,
+            "delivery_rate": round(self.delivery_rate, 6),
+            "spam_published": self.spam_published,
+            "spam_delivered": self.spam_delivered,
+            "spam_per_honest_peer": round(self.spam_per_honest_peer, 6),
+            "slashes_submitted": self.slashes_submitted,
+            "members_slashed": self.members_slashed,
+            "proof_verifications": self.proof_verifications,
+            "verification_cache_hits": self.verification_cache_hits,
+            "counters": dict(sorted(self.counters.items())),
+            "sim_time": self.sim_time,
+            "events_processed": self.events_processed,
+            "extras": {k: round(v, 6) for k, v in sorted(self.extras.items())},
+        }
+        if include_wall_clock:
+            out["wall_clock_seconds"] = self.wall_clock_seconds
+        return out
+
+    def fingerprint(self) -> str:
+        """Stable digest of the deterministic fields; two runs of the
+        same scenario+seed must produce the same fingerprint."""
+        canonical = json.dumps(
+            self.to_dict(include_wall_clock=False), sort_keys=True
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    def format(self) -> str:
+        """Human-readable report for the CLI."""
+        lines = [f"scenario: {self.scenario} (seed {self.seed})"]
+        data = self.to_dict()
+        data.pop("scenario")
+        data.pop("seed")
+        counters = data.pop("counters")
+        extras = data.pop("extras")
+        for key, value in data.items():
+            lines.append(f"  {key:<26} {value}")
+        if extras:
+            lines.append("  extras:")
+            for key, value in extras.items():
+                lines.append(f"    {key:<24} {value}")
+        interesting = {
+            k: v
+            for k, v in counters.items()
+            if k.startswith("validator.") or k == "gossipsub.rejected"
+        }
+        if interesting:
+            lines.append("  validator counters:")
+            for key, value in interesting.items():
+                lines.append(f"    {key:<24} {value}")
+        lines.append(f"  fingerprint              {self.fingerprint()}")
+        return "\n".join(lines)

@@ -1,0 +1,318 @@
+"""Execute a :class:`ScenarioSpec` end-to-end.
+
+The runner assembles the full stack — discrete-event simulator, latency
+network, GossipSub overlay, Waku-Relay nodes, RLN membership contract
+and slashing — through :class:`~repro.core.protocol.WakuRlnRelayNetwork`,
+drives the spec's traffic/adversary/churn processes on the simulated
+clock, and condenses everything into one
+:class:`~repro.scenarios.result.ScenarioResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Set
+
+from ..attacks.spam import FloodSpammer, RlnSpammer
+from ..baselines.relay_baselines import BaselineNetwork
+from ..core.peer import WakuRlnRelayPeer
+from ..core.protocol import WakuRlnRelayNetwork
+from ..errors import RateLimitError, RegistrationError
+from ..sim.simulator import Simulator
+from .result import ScenarioResult
+from .spec import ScenarioSpec
+
+#: Payload markers used to classify deliveries.
+HONEST_MARKER = b"MSG|"
+SPAM_MARKER = b"SPAM"
+
+#: Metrics counters copied verbatim into ``ScenarioResult.counters``.
+_COUNTER_PREFIXES = ("validator.", "rln.")
+_COUNTER_NAMES = (
+    "gossipsub.published",
+    "gossipsub.delivered",
+    "gossipsub.rejected",
+    "gossipsub.ignored",
+    "gossipsub.duplicates",
+)
+
+
+class ScenarioRunner:
+    """One scenario execution; create fresh per run."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self.net = WakuRlnRelayNetwork(
+            peer_count=spec.peers,
+            config=spec.build_config(),
+            seed=spec.seed,
+            degree=spec.degree,
+            block_interval=spec.block_interval,
+        )
+        #: node_id -> [honest deliveries, spam deliveries]
+        self._received: Dict[str, List[int]] = {}
+        self._spammer_ids: Set[str] = {
+            p.node_id
+            for p in self.net.peers[
+                len(self.net.peers) - spec.adversaries.spammer_count :
+            ]
+        } if spec.adversaries.spammer_count else set()
+        self._publisher_ids: Set[str] = set()
+        self._honest_published = 0
+        #: Sum over published messages of honest peers alive at publish
+        #: time — the delivery-rate denominator. Under churn the rate
+        #: can slightly exceed 1: late joiners may still pick up older
+        #: messages through IHAVE/IWANT gossip.
+        self._expected_deliveries = 0
+        self._joined = 0
+        self._left = 0
+        for peer in self.net.peers:
+            self._attach_recorder(peer)
+        self.net.on_peer_added(self._attach_recorder)
+
+    # -- wiring ----------------------------------------------------------------
+
+    def _attach_recorder(self, peer: WakuRlnRelayPeer) -> None:
+        counts = self._received.setdefault(peer.node_id, [0, 0])
+
+        def record(payload: bytes, _msg_id: str) -> None:
+            if payload.startswith(SPAM_MARKER):
+                counts[1] += 1
+            elif payload.startswith(HONEST_MARKER):
+                counts[0] += 1
+
+        peer.on_payload(record)
+
+    def _honest_peers(self) -> List[WakuRlnRelayPeer]:
+        return [
+            p for p in self.net.peers if p.node_id not in self._spammer_ids
+        ]
+
+    # -- processes ---------------------------------------------------------------
+
+    def _schedule_traffic(self) -> None:
+        traffic = self.spec.traffic
+        if traffic.messages_per_epoch <= 0 or traffic.active_fraction <= 0:
+            return
+        honest = self._honest_peers()
+        count = max(1, round(len(honest) * traffic.active_fraction))
+        rng = self.net.simulator.rng
+        publishers = rng.sample(honest, min(count, len(honest)))
+        self._publisher_ids = {p.node_id for p in publishers}
+        epoch_length = self.net.config.epoch_length
+        interval = epoch_length / traffic.messages_per_epoch
+        filler = b"x" * max(0, self.spec.traffic.payload_bytes - 24)
+
+        for peer in publishers:
+            sequence = [0]
+
+            def publish(_sim: Simulator, target=peer, seq=sequence) -> None:
+                payload = (
+                    HONEST_MARKER
+                    + f"{target.node_id}|{seq[0]}".encode()
+                    + filler
+                )
+                try:
+                    target.publish(payload)
+                except (RateLimitError, RegistrationError):
+                    return  # own limit hit, or not registered yet
+                seq[0] += 1
+                self._honest_published += 1
+                self._expected_deliveries += len(self._honest_peers())
+
+            self.net.simulator.schedule(
+                traffic.start + rng.uniform(0, interval),
+                lambda sim, fn=publish: self._periodic(sim, fn, interval),
+                label=f"traffic:{peer.node_id}",
+            )
+
+    def _periodic(self, sim: Simulator, fn, interval: float) -> None:
+        fn(sim)
+        sim.schedule(
+            interval, lambda s: self._periodic(s, fn, interval), "traffic"
+        )
+
+    def _schedule_adversaries(self) -> List[RlnSpammer]:
+        mix = self.spec.adversaries
+        spammers: List[RlnSpammer] = []
+        if not mix.spammer_count:
+            return spammers
+        by_id = {p.node_id: p for p in self.net.peers}
+        for node_id in sorted(self._spammer_ids):
+            spammer = RlnSpammer(by_id[node_id], burst=mix.burst)
+            spammers.append(spammer)
+
+        def launch(_sim: Simulator) -> None:
+            for spammer in spammers:
+                spammer.run(self.net, mix.epochs)
+
+        self.net.simulator.schedule(mix.start, launch, label="adversaries")
+        return spammers
+
+    def _schedule_churn(self) -> None:
+        churn = self.spec.churn
+        if not churn.active:
+            return
+        sim = self.net.simulator
+
+        if churn.join_interval and churn.max_joins:
+
+            def join(_sim: Simulator) -> None:
+                if self._joined >= churn.max_joins:
+                    return
+                self.net.add_peer()
+                self._joined += 1
+                if self._joined < churn.max_joins:
+                    sim.schedule(churn.join_interval, join, "churn-join")
+
+            sim.schedule(
+                churn.start + churn.join_interval, join, "churn-join"
+            )
+
+        if churn.leave_interval and churn.max_leaves:
+
+            def leave(_sim: Simulator) -> None:
+                if self._left >= churn.max_leaves:
+                    return
+                candidates = [
+                    p.node_id
+                    for p in self._honest_peers()
+                    if p.node_id not in self._publisher_ids
+                ]
+                if len(candidates) > 1:
+                    victim = sim.rng.choice(candidates)
+                    self.net.remove_peer(victim)
+                    self._left += 1
+                if self._left < churn.max_leaves:
+                    sim.schedule(churn.leave_interval, leave, "churn-leave")
+
+            sim.schedule(
+                churn.start + churn.leave_interval, leave, "churn-leave"
+            )
+
+    # -- baseline comparison ------------------------------------------------------
+
+    def _run_baseline(self) -> Dict[str, float]:
+        """Throw the equivalent flood at an unprotected relay network."""
+        spec = self.spec
+        mix = spec.adversaries
+        baseline = BaselineNetwork(
+            peer_count=spec.peers, seed=spec.seed, degree=spec.degree
+        )
+        deliveries = baseline.collect_deliveries()
+        baseline.start()
+        baseline.run(2.0)
+        epoch_length = spec.build_config().epoch_length
+        rate = max(mix.burst, 1) / epoch_length
+        flood_duration = max(mix.epochs, 1) * epoch_length
+        flooders = [
+            FloodSpammer(baseline, f"peer-{i}", rate_per_second=rate)
+            for i in range(max(mix.spammer_count, 1))
+        ]
+        for flooder in flooders:
+            flooder.run(flood_duration)
+        baseline.run(spec.duration)
+        attacker_ids = {f.node_id for f in flooders}
+        honest = {
+            nid: msgs
+            for nid, msgs in deliveries.items()
+            if nid not in attacker_ids
+        }
+        spam_counts = [
+            sum(1 for m in msgs if m.startswith(SPAM_MARKER))
+            for msgs in honest.values()
+        ]
+        total = sum(spam_counts)
+        return {
+            "baseline_spam_sent": float(sum(f.sent for f in flooders)),
+            "baseline_spam_delivered": float(total),
+            "baseline_spam_per_honest_peer": (
+                total / len(spam_counts) if spam_counts else 0.0
+            ),
+        }
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self) -> ScenarioResult:
+        spec = self.spec
+        started_wall = time.perf_counter()
+        net = self.net
+
+        net.register_all()
+        net.start()
+        self._schedule_traffic()
+        spammers = self._schedule_adversaries()
+        self._schedule_churn()
+        net.run(spec.duration)
+        net.stop()
+
+        honest_receivers = [
+            nid for nid in self._received if nid not in self._spammer_ids
+        ]
+        honest_delivered = sum(
+            self._received[nid][0] for nid in honest_receivers
+        )
+        spam_delivered = sum(
+            self._received[nid][1] for nid in honest_receivers
+        )
+        # A publisher delivers its own message locally, so each honest
+        # message can reach the honest peers alive when it was sent.
+        expected = self._expected_deliveries
+        metrics = net.metrics
+        chain_events = net.chain.events_since(0)
+        members_slashed = sum(
+            1 for e in chain_events if e.name == "MemberRemoved"
+        )
+        counters = {
+            name: value
+            for name, value in sorted(metrics.counters.items())
+            if name.startswith(_COUNTER_PREFIXES) or name in _COUNTER_NAMES
+        }
+        extras: Dict[str, float] = {}
+        if net.verification_cache is not None:
+            extras["verification_cache_hit_rate"] = (
+                net.verification_cache.hit_rate
+            )
+        if spec.compare_baseline:
+            extras.update(self._run_baseline())
+
+        return ScenarioResult(
+            scenario=spec.name,
+            seed=spec.seed,
+            peers_started=spec.peers,
+            peers_final=len(net.peers),
+            joined=self._joined,
+            left=self._left,
+            honest_published=self._honest_published,
+            honest_delivered=honest_delivered,
+            delivery_rate=honest_delivered / expected if expected else 0.0,
+            spam_published=sum(s.sent for s in spammers),
+            spam_delivered=spam_delivered,
+            spam_per_honest_peer=(
+                spam_delivered / len(honest_receivers)
+                if honest_receivers
+                else 0.0
+            ),
+            slashes_submitted=sum(
+                p.slashes_submitted
+                for p in (net.peers + net.departed)
+            ),
+            members_slashed=members_slashed,
+            proof_verifications=metrics.counter("rln.proof_verifications"),
+            verification_cache_hits=metrics.counter("rln.proof_cache_hits"),
+            counters=counters,
+            sim_time=net.simulator.now,
+            events_processed=net.simulator.events_processed,
+            wall_clock_seconds=time.perf_counter() - started_wall,
+            extras=extras,
+        )
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    peers: Optional[int] = None,
+    duration: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> ScenarioResult:
+    """Run ``spec`` (optionally rescaled) and return its result."""
+    return ScenarioRunner(spec.scaled(peers, duration, seed)).run()

@@ -1,0 +1,153 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` names one reproducible workload: a topology, a
+per-peer traffic model, an adversary mix, a churn process and protocol
+configuration overrides. Specs are immutable values — the same spec and
+seed always produce the same :class:`~repro.scenarios.result.ScenarioResult`
+— and compose via :meth:`ScenarioSpec.scaled`, which is how the smoke
+tests shrink full-scale scenarios to CI size without forking them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional
+
+from ..constants import ETH_BLOCK_INTERVAL_SECONDS
+from ..core.config import ProtocolConfig
+from ..errors import ScenarioError
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """Honest per-peer publishing behaviour.
+
+    ``messages_per_epoch`` is the target rate of each *active* publisher
+    (honest peers never exceed 1/epoch — the protocol's own limit);
+    ``active_fraction`` selects how many honest peers publish at all.
+    """
+
+    messages_per_epoch: float = 1.0
+    active_fraction: float = 0.5
+    payload_bytes: int = 64
+    start: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.active_fraction <= 1.0:
+            raise ScenarioError("active_fraction must be within [0, 1]")
+        if self.messages_per_epoch < 0:
+            raise ScenarioError("messages_per_epoch must be >= 0")
+
+
+@dataclass(frozen=True)
+class AdversaryMix:
+    """Registered members that violate their rate limit.
+
+    Spammers are taken from the *tail* of the initial peer list; each
+    publishes ``burst`` distinct messages per epoch for ``epochs``
+    consecutive epochs starting at ``start`` simulated seconds.
+    """
+
+    spammer_count: int = 0
+    burst: int = 5
+    epochs: int = 3
+    start: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.spammer_count < 0 or self.burst < 0 or self.epochs < 0:
+            raise ScenarioError("adversary parameters must be >= 0")
+
+
+@dataclass(frozen=True)
+class ChurnModel:
+    """Peers joining and leaving while the network runs.
+
+    Intervals of 0 disable the corresponding process. Leaves pick a
+    random live non-publisher honest peer, so the delivery-rate metric
+    keeps a stable denominator; joins dial into the live overlay,
+    register on-chain and replay the full membership event log.
+    """
+
+    join_interval: float = 0.0
+    leave_interval: float = 0.0
+    max_joins: int = 0
+    max_leaves: int = 0
+    start: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.join_interval < 0 or self.leave_interval < 0:
+            raise ScenarioError("churn intervals must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            (self.join_interval and self.max_joins)
+            or (self.leave_interval and self.max_leaves)
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, seed-deterministic workload."""
+
+    name: str
+    description: str
+    peers: int = 50
+    degree: Optional[int] = 6
+    duration: float = 60.0
+    seed: int = 0
+    block_interval: float = ETH_BLOCK_INTERVAL_SECONDS
+    traffic: TrafficModel = field(default_factory=TrafficModel)
+    adversaries: AdversaryMix = field(default_factory=AdversaryMix)
+    churn: ChurnModel = field(default_factory=ChurnModel)
+    #: Attribute overrides applied to the default :class:`ProtocolConfig`.
+    config_overrides: Mapping[str, object] = field(default_factory=dict)
+    #: Also run the same adversary against an unprotected baseline relay
+    #: and record the comparison in ``ScenarioResult.extras``.
+    compare_baseline: bool = False
+
+    def __post_init__(self) -> None:
+        if self.peers < 2:
+            raise ScenarioError("a scenario needs at least 2 peers")
+        if self.adversaries.spammer_count >= self.peers:
+            raise ScenarioError("spammers must leave at least one honest peer")
+        if self.duration <= 0:
+            raise ScenarioError("duration must be positive")
+        unknown = set(self.config_overrides) - {
+            f.name for f in ProtocolConfig.__dataclass_fields__.values()
+        }
+        if unknown:
+            raise ScenarioError(
+                f"unknown ProtocolConfig overrides: {sorted(unknown)}"
+            )
+
+    def build_config(self) -> ProtocolConfig:
+        return replace(ProtocolConfig(), **dict(self.config_overrides))
+
+    def scaled(
+        self,
+        peers: Optional[int] = None,
+        duration: Optional[float] = None,
+        seed: Optional[int] = None,
+    ) -> "ScenarioSpec":
+        """A copy resized for quick runs, adversary mix rescaled with it."""
+        spec = self
+        if peers is not None and peers != spec.peers:
+            adversaries = spec.adversaries
+            if adversaries.spammer_count:
+                scaled_spammers = max(
+                    1,
+                    round(
+                        adversaries.spammer_count * peers / spec.peers
+                    ),
+                )
+                adversaries = replace(
+                    adversaries,
+                    spammer_count=min(scaled_spammers, peers - 1),
+                )
+            spec = replace(spec, peers=peers, adversaries=adversaries)
+        if duration is not None:
+            spec = replace(spec, duration=duration)
+        if seed is not None:
+            spec = replace(spec, seed=seed)
+        return spec

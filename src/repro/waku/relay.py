@@ -15,6 +15,7 @@ validators and message handlers can be scoped per topic.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Callable, List, Optional, Set, Tuple
 
 from ..errors import GossipError, SerializationError
@@ -30,6 +31,11 @@ MessageHandler = Callable[[WakuMessage, str], None]
 
 #: Waku validator: message -> ValidationResult.
 WakuValidator = Callable[[WakuMessage], ValidationResult]
+
+#: How many decoded envelopes a relay node memoises. Every inbound
+#: message is decoded at least twice (validation, then delivery), so
+#: even a small memo halves the envelope-parsing work on the hot path.
+DECODE_CACHE_SIZE = 512
 
 
 class WakuRelayNode:
@@ -57,6 +63,10 @@ class WakuRelayNode:
         #: (topic or None, handler) — None scopes to every joined topic.
         self._handlers: List[Tuple[Optional[str], MessageHandler]] = []
         self._validators: List[Tuple[Optional[str], WakuValidator]] = []
+        #: bytes -> decoded envelope (None = known-malformed bytes).
+        self._decode_cache: "OrderedDict[bytes, Optional[WakuMessage]]" = (
+            OrderedDict()
+        )
         self._started = False
         self.router.on_delivery(self._on_delivery)
         self.join_topic(pubsub_topic)
@@ -134,10 +144,19 @@ class WakuRelayNode:
         if isinstance(payload, WakuMessage):
             return payload
         if isinstance(payload, bytes):
+            if payload in self._decode_cache:
+                self._decode_cache.move_to_end(payload)
+                return self._decode_cache[payload]
             try:
-                return WakuMessage.from_bytes(payload)
+                message: Optional[WakuMessage] = WakuMessage.from_bytes(
+                    payload
+                )
             except SerializationError:
-                return None
+                message = None
+            self._decode_cache[payload] = message
+            while len(self._decode_cache) > DECODE_CACHE_SIZE:
+                self._decode_cache.popitem(last=False)
+            return message
         return None
 
     def _validate(self, topic: str, payload: Any) -> ValidationResult:

@@ -1,4 +1,5 @@
-"""Shared fixtures: deterministic RNG and hash-backend isolation."""
+"""Shared fixtures: deterministic RNG, hash-backend isolation, and the
+``slow`` marker gating full-scale scenario runs."""
 
 from __future__ import annotations
 
@@ -7,6 +8,26 @@ import random
 import pytest
 
 from repro.crypto.hashing import get_hash_backend, set_hash_backend
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: full-scale scenario run; excluded by default, opt in "
+        "with `pytest -m slow`",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Make ``slow`` opt-in: skipped unless the -m expression names it."""
+    if "slow" in (config.option.markexpr or ""):
+        return
+    skip_slow = pytest.mark.skip(
+        reason="full-scale scenario; opt in with -m slow"
+    )
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture

@@ -139,3 +139,33 @@ class TestPipeline:
         sim, group, index, prover, validator = stack
         validator.validate(signal_at(prover, group, index, b"m", 0))
         assert validator.metrics.counter("validator.relayed") == 1
+
+
+class TestDuplicateFastPath:
+    """The duplicate short-circuit must only fire for exact copies."""
+
+    def test_exact_duplicate_ignored_without_reverification(self, stack):
+        sim, group, index, prover, validator = stack
+        signal = signal_at(prover, group, index, b"dup", 0)
+        assert validator.validate(signal).outcome is ValidationOutcome.RELAY
+        report = validator.validate(signal)
+        assert report.outcome is ValidationOutcome.IGNORE_DUPLICATE
+        assert validator.metrics.counter("validator.duplicate_fast_path") == 1
+
+    def test_tampered_copy_still_rejected(self, stack):
+        """Same (epoch, phi, share.x) but corrupted share.y: must REJECT
+        (P4 penalty), never be waved through as a duplicate."""
+        import dataclasses
+
+        from repro.crypto.field import Fr
+
+        sim, group, index, prover, validator = stack
+        signal = signal_at(prover, group, index, b"tamper", 0)
+        assert validator.validate(signal).outcome is ValidationOutcome.RELAY
+        tampered = dataclasses.replace(
+            signal,
+            share=dataclasses.replace(signal.share, y=signal.share.y + Fr.one()),
+        )
+        report = validator.validate(tampered)
+        assert report.outcome is ValidationOutcome.REJECT_INVALID_PROOF
+        assert validator.metrics.counter("validator.duplicate_fast_path") == 0

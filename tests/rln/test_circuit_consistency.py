@@ -1,0 +1,73 @@
+"""Cross-backend consistency: the native relation checker and the full
+R1CS must agree on random witnesses under the poseidon backend."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.constants import BN254_SCALAR_FIELD
+from repro.crypto.field import Fr
+from repro.crypto.hashing import hash1
+from repro.crypto.merkle import MerkleTree
+from repro.errors import CircuitError
+from repro.rln.circuit import RlnStatement
+from repro.rln.nullifier import external_nullifier
+
+
+DEPTH = 6
+
+
+def build_statement(rng: random.Random, tree_size: int = 5):
+    """A random honest witness under the active hash backend."""
+    tree = MerkleTree(DEPTH)
+    secrets = [Fr(rng.randrange(1, BN254_SCALAR_FIELD)) for _ in range(tree_size)]
+    for secret in secrets:
+        tree.insert(hash1(secret))
+    member = rng.randrange(tree_size)
+    ext = external_nullifier(rng.randint(0, 2**40))
+    x = Fr(rng.randrange(1, BN254_SCALAR_FIELD))
+    statement = RlnStatement.build(
+        secret=secrets[member],
+        ext_nullifier=ext,
+        x=x,
+        merkle_proof=tree.proof(member),
+    )
+    return statement
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_check_witness_agrees_with_r1cs_on_random_witnesses(
+    seed, poseidon_backend
+):
+    """20 random honest witnesses: both paths accept, publics agree."""
+    statement = build_statement(random.Random(seed))
+    assert statement.check_witness()
+    cs = statement.synthesize()
+    assert cs.is_satisfied()
+    assert cs.public_inputs() == statement.public_inputs()
+
+
+@pytest.mark.parametrize(
+    "corruption", ["y", "internal_nullifier", "merkle_root"]
+)
+def test_corrupted_witness_rejected_by_both_paths(
+    corruption, poseidon_backend
+):
+    import dataclasses
+
+    statement = build_statement(random.Random(999))
+    bad = dataclasses.replace(
+        statement, **{corruption: getattr(statement, corruption) + Fr.one()}
+    )
+    assert not bad.check_witness()
+    # The R1CS path rejects too — eagerly, at constraint synthesis.
+    with pytest.raises(CircuitError):
+        bad.synthesize()
+
+
+def test_synthesize_requires_poseidon_backend():
+    statement = build_statement(random.Random(1))  # default (fast) backend
+    with pytest.raises(CircuitError):
+        statement.synthesize()

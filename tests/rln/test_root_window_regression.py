@@ -1,0 +1,101 @@
+"""Regression tests for LocalGroup's sliding root-window acceptance.
+
+A proof against the root that *just* slid out of the window must be
+rejected; one against the oldest root still inside the window must be
+accepted — the boundary the paper's group-sync race argument relies on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.keys import MembershipKeyPair
+from repro.rln.membership import DEFAULT_ROOT_WINDOW, LocalGroup
+from repro.rln.prover import RlnProver, rln_keys
+from repro.rln.verifier import RlnVerifier, SignalCheck
+
+
+def grow(group: LocalGroup, rng: random.Random, count: int):
+    """Register ``count`` members; returns the roots after each event."""
+    roots = []
+    for _ in range(count):
+        pair = MembershipKeyPair.generate(rng)
+        group.apply_registration(pair.commitment, group.applied_events)
+        roots.append(group.root)
+    return roots
+
+
+@pytest.mark.parametrize("window", [2, 4, DEFAULT_ROOT_WINDOW])
+def test_window_boundary_exact(window):
+    rng = random.Random(window)
+    group = LocalGroup(depth=8, root_window=window)
+    roots = grow(group, rng, window + 3)
+    recent = group.recent_roots()
+    assert len(recent) == window
+    # The newest `window` roots are accepted, oldest-first.
+    assert recent == roots[-window:]
+    # Boundary: the oldest root still in the window is accepted...
+    assert group.is_acceptable_root(roots[-window])
+    # ...the one that just slid out is not.
+    assert not group.is_acceptable_root(roots[-window - 1])
+    # Every older root is rejected too.
+    for root in roots[: -window - 1]:
+        assert not group.is_acceptable_root(root)
+
+
+def test_proof_against_slid_out_root_rejected_at_boundary():
+    """End to end: a publisher whose replica lags by exactly the window
+    is accepted; one event further behind and its proofs are dropped."""
+    window = 3
+    rng = random.Random(7)
+    pk, vk = rln_keys(seed=b"root-window")
+    router = LocalGroup(depth=8, root_window=window)
+    publisher = LocalGroup(depth=8, root_window=window)
+
+    pair = MembershipKeyPair.generate(rng)
+    router.apply_registration(pair.commitment, 0)
+    publisher.apply_registration(pair.commitment, 0)
+    prover = RlnProver(keypair=pair, proving_key=pk)
+    verifier = RlnVerifier(
+        verifying_key=vk, root_predicate=router.is_acceptable_root
+    )
+
+    # The publisher proves against its current (soon-to-be-stale) root.
+    stale_proof = publisher.merkle_proof(0)
+
+    # Router applies window-1 more events: publisher root at the boundary.
+    grow(router, random.Random(8), window - 1)
+    boundary_signal = prover.create_signal(b"boundary", 1, stale_proof)
+    assert verifier.check(boundary_signal) is SignalCheck.VALID
+
+    # One more event: the publisher's root has just slid out.
+    grow(router, random.Random(9), 1)
+    stale_signal = prover.create_signal(b"too stale", 1, stale_proof)
+    assert verifier.check(stale_signal) is SignalCheck.UNKNOWN_ROOT
+
+
+def test_removal_events_also_slide_the_window():
+    rng = random.Random(11)
+    group = LocalGroup(depth=8, root_window=2)
+    roots = grow(group, rng, 3)
+    group.apply_removal(0, group.applied_events)
+    assert not group.is_acceptable_root(roots[-2])
+    assert group.is_acceptable_root(roots[-1])
+    assert group.is_acceptable_root(group.root)
+
+
+def test_replicated_group_accepts_identical_roots():
+    """replicate_from preserves the window, not just the latest root."""
+    rng = random.Random(13)
+    source = LocalGroup(depth=8, root_window=4)
+    grow(source, rng, 6)
+    replica = LocalGroup(depth=8, root_window=4)
+    replica.replicate_from(source)
+    assert replica.recent_roots() == source.recent_roots()
+    assert replica.root == source.root
+    assert replica.applied_events == source.applied_events
+    # The clone is independent: growing one does not move the other.
+    grow(replica, rng, 1)
+    assert replica.root != source.root

@@ -1,0 +1,202 @@
+"""Scenario spec/registry/runner unit tests: determinism, scaling,
+churn bookkeeping and CLI plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    AdversaryMix,
+    ChurnModel,
+    ScenarioSpec,
+    TrafficModel,
+    register_scenario,
+    run_scenario,
+    scenario,
+    scenario_names,
+)
+from repro.scenarios.registry import _REGISTRY
+
+
+REQUIRED_BUILTINS = {
+    "honest-steady",
+    "burst-spammer",
+    "coordinated-multi-spammer",
+    "high-churn",
+    "stale-root-sync-lag",
+    "mixed-baseline-comparison",
+}
+
+
+def test_builtin_registry_complete():
+    assert REQUIRED_BUILTINS <= set(scenario_names())
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ScenarioError, match="unknown scenario"):
+        scenario("no-such-scenario")
+
+
+def test_duplicate_registration_refused():
+    spec = scenario("honest-steady")
+    with pytest.raises(ScenarioError, match="already registered"):
+        register_scenario(spec)
+    register_scenario(spec, replace=True)  # explicit replace is fine
+    assert _REGISTRY[spec.name] is spec
+
+
+def test_spec_validation():
+    with pytest.raises(ScenarioError):
+        ScenarioSpec(name="x", description="d", peers=1)
+    with pytest.raises(ScenarioError):
+        ScenarioSpec(
+            name="x",
+            description="d",
+            peers=3,
+            adversaries=AdversaryMix(spammer_count=3),
+        )
+    with pytest.raises(ScenarioError):
+        ScenarioSpec(
+            name="x", description="d", config_overrides={"bogus_knob": 1}
+        )
+    with pytest.raises(ScenarioError):
+        TrafficModel(active_fraction=1.5)
+    with pytest.raises(ScenarioError):
+        ChurnModel(join_interval=-1)
+
+
+def test_scaled_rescales_adversary_mix():
+    spec = ScenarioSpec(
+        name="x",
+        description="d",
+        peers=200,
+        adversaries=AdversaryMix(spammer_count=10),
+    )
+    small = spec.scaled(peers=20)
+    assert small.peers == 20
+    assert small.adversaries.spammer_count == 1
+    assert spec.adversaries.spammer_count == 10  # original untouched
+    # Spammers can never swallow the whole (tiny) network.
+    tiny = spec.scaled(peers=2)
+    assert tiny.adversaries.spammer_count == 1
+
+
+def test_config_overrides_applied():
+    spec = ScenarioSpec(
+        name="x",
+        description="d",
+        config_overrides={"root_window": 3, "epoch_length": 5.0},
+    )
+    config = spec.build_config()
+    assert config.root_window == 3
+    assert config.epoch_length == 5.0
+
+
+def test_same_seed_same_result():
+    spec = scenario("burst-spammer")
+    a = run_scenario(spec, peers=16, duration=30.0)
+    b = run_scenario(spec, peers=16, duration=30.0)
+    assert a == b  # wall-clock excluded from equality
+    assert a.fingerprint() == b.fingerprint()
+    assert a.wall_clock_seconds != 0.0
+
+
+def test_different_seed_different_traffic():
+    spec = scenario("honest-steady")
+    a = run_scenario(spec, peers=16, duration=30.0, seed=1)
+    b = run_scenario(spec, peers=16, duration=30.0, seed=2)
+    assert a.seed != b.seed
+    assert a.fingerprint() != b.fingerprint()
+
+
+def test_churn_bookkeeping():
+    spec = ScenarioSpec(
+        name="churny",
+        description="d",
+        peers=12,
+        duration=40.0,
+        traffic=TrafficModel(active_fraction=0.25),
+        churn=ChurnModel(
+            join_interval=5.0, leave_interval=7.0, max_joins=3, max_leaves=2
+        ),
+    )
+    result = run_scenario(spec)
+    assert result.joined == 3
+    assert result.left == 2
+    assert result.peers_final == 12 + 3 - 2
+
+
+def test_result_dict_and_fingerprint_exclude_wall_clock():
+    result = run_scenario(scenario("honest-steady"), peers=8, duration=20.0)
+    with_wall = result.to_dict()
+    without = result.to_dict(include_wall_clock=False)
+    assert "wall_clock_seconds" in with_wall
+    assert "wall_clock_seconds" not in without
+    result.wall_clock_seconds = 123.0
+    assert result.fingerprint() == result.fingerprint()
+    text = result.format()
+    assert "fingerprint" in text and result.fingerprint() in text
+
+
+class TestCli:
+    def test_run_scenario_command(self, capsys):
+        from repro.analysis.__main__ import main
+
+        assert (
+            main(
+                [
+                    "run-scenario",
+                    "burst-spammer",
+                    "--peers",
+                    "12",
+                    "--duration",
+                    "20",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "scenario: burst-spammer" in out
+        assert "fingerprint" in out
+
+    def test_run_scenario_json(self, capsys):
+        import json
+
+        from repro.analysis.__main__ import main
+
+        assert (
+            main(
+                [
+                    "run-scenario",
+                    "honest-steady",
+                    "--peers",
+                    "8",
+                    "--duration",
+                    "15",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert data["scenario"] == "honest-steady"
+        assert data["peers_started"] == 8
+
+    def test_unknown_scenario_and_flags(self, capsys):
+        from repro.analysis.__main__ import main
+
+        assert main(["run-scenario"]) == 1
+        assert main(["run-scenario", "nope"]) == 1
+        assert main(["run-scenario", "honest-steady", "--bogus", "1"]) == 1
+        assert (
+            main(["run-scenario", "honest-steady", "--peers", "abc"]) == 1
+        )
+
+    def test_list_scenarios(self, capsys):
+        from repro.analysis.__main__ import main
+
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in REQUIRED_BUILTINS:
+            assert name in out

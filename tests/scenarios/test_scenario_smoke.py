@@ -1,0 +1,69 @@
+"""Smoke-run every registered scenario at tiny scale.
+
+Each scenario must complete, produce sane metrics, and (per seed) be
+fully deterministic. Full-scale runs are opt-in via ``-m slow``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import all_scenarios, run_scenario, scenario
+
+SMOKE_PEERS = 20
+SMOKE_DURATION = 40.0
+
+
+@pytest.mark.parametrize(
+    "name", [spec.name for spec in all_scenarios()]
+)
+def test_every_registered_scenario_smokes(name):
+    spec = scenario(name)
+    result = run_scenario(spec, peers=SMOKE_PEERS, duration=SMOKE_DURATION)
+    assert result.scenario == name
+    assert result.peers_started == SMOKE_PEERS
+    assert result.sim_time == pytest.approx(SMOKE_DURATION)
+    assert result.peers_final == (
+        SMOKE_PEERS + result.joined - result.left
+    )
+    if spec.traffic.active_fraction > 0:
+        assert result.honest_published > 0
+        # Under churn the rate can marginally exceed 1: late joiners
+        # may catch older messages through IHAVE/IWANT gossip.
+        bound = 1.05 if spec.churn.active else 1.0
+        assert 0.0 < result.delivery_rate <= bound
+    if spec.adversaries.spammer_count:
+        # Rate violations detected and punished.
+        assert result.spam_published > 0
+        assert result.counters.get("validator.double_signals", 0) > 0
+        assert result.members_slashed > 0
+        # Spam containment: honest peers saw at most ~1 relayed spam
+        # message per spammer-epoch, never the whole burst.
+        per_peer_bound = (
+            result.spam_published / max(spec.adversaries.burst, 1) + 1
+        )
+        assert result.spam_per_honest_peer <= per_peer_bound
+    if spec.churn.active:
+        assert result.joined > 0 or result.left > 0
+    if spec.compare_baseline:
+        assert "baseline_spam_delivered" in result.extras
+        assert (
+            result.extras["baseline_spam_per_honest_peer"]
+            > result.spam_per_honest_peer
+        )
+
+
+def test_smoke_scale_is_within_ci_budget():
+    """Guard the ≤50-peer promise the tier-1 suite relies on."""
+    assert SMOKE_PEERS <= 50
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "name", [spec.name for spec in all_scenarios()]
+)
+def test_full_scale_scenarios(name):
+    """The registered (full) scale; run with ``pytest -m slow``."""
+    result = run_scenario(scenario(name))
+    assert result.sim_time > 0
+    assert result.delivery_rate > 0.5
