@@ -1,0 +1,54 @@
+"""Adaptive, chain-aware attacker agents.
+
+The pluggable adversary engine that closes the paper's economic loop:
+budget-constrained agents register through the membership contract,
+spam under a chosen :class:`AdversaryStrategy`, watch the chain for
+their own slashing, and rotate to fresh identities while funds remain.
+:class:`AttackReport` turns the run into cost-per-delivered-spam and
+stake-burnt-over-time series.
+
+Use through the scenario harness::
+
+    from repro.scenarios import AdversaryGroup, AdversaryMix, ScenarioSpec
+
+    spec = ScenarioSpec(
+        name="my-attack",
+        description="two rotating sybils on a budget of 6 stakes",
+        adversaries=AdversaryMix(groups=(
+            AdversaryGroup("rotating-sybil", count=2, budget_stakes=6),
+        )),
+    )
+
+or drive an :class:`AdversaryEngine` directly against a
+``WakuRlnRelayNetwork`` (see ``tests/adversaries/``).
+"""
+
+from .base import AdversaryAgent, AdversaryStrategy, IdentityRecord
+from .engine import AdversaryEngine
+from .report import AgentReport, AttackReport, EconomicsSample
+from .strategies import (
+    AdaptiveBackoff,
+    BurstFlooder,
+    LowAndSlow,
+    RotatingSybil,
+    build_strategy,
+    register_strategy,
+    strategy_names,
+)
+
+__all__ = [
+    "AdaptiveBackoff",
+    "AdversaryAgent",
+    "AdversaryEngine",
+    "AdversaryStrategy",
+    "AgentReport",
+    "AttackReport",
+    "BurstFlooder",
+    "EconomicsSample",
+    "IdentityRecord",
+    "LowAndSlow",
+    "RotatingSybil",
+    "build_strategy",
+    "register_strategy",
+    "strategy_names",
+]

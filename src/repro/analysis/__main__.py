@@ -5,7 +5,9 @@ Usage::
     python -m repro.analysis                        # all experiments
     python -m repro.analysis e1 e5 e7               # a subset
     python -m repro.analysis list-scenarios         # scenario registry
+    python -m repro.analysis list-strategies        # adversary strategies
     python -m repro.analysis run-scenario burst-spammer --peers 200
+    python -m repro.analysis run-scenario rotating-sybil-economics
 
 The output of a full run is what EXPERIMENTS.md records.
 """
@@ -132,11 +134,23 @@ def _list_scenarios() -> int:
     return 0
 
 
+def _list_strategies() -> int:
+    """Adversary strategies usable in an ``AdversaryGroup``."""
+    from ..adversaries.strategies import strategy_summaries
+
+    for name, doc in strategy_summaries():
+        print(f"{name}")
+        print(f"    {doc}")
+    return 0
+
+
 def main(argv) -> int:
     if argv and argv[0] == "run-scenario":
         return _run_scenario_command(argv[1:])
     if argv and argv[0] == "list-scenarios":
         return _list_scenarios()
+    if argv and argv[0] == "list-strategies":
+        return _list_strategies()
     selected = [a.lower() for a in argv] or list(EXPERIMENTS)
     unknown = [s for s in selected if s not in EXPERIMENTS]
     if unknown:

@@ -4,6 +4,11 @@ These drive the comparison experiments (E7/E8): the same flooding
 adversary is thrown at Waku-RLN-Relay, the PoW baseline and the
 peer-scoring baseline, and the experiment records how much spam reaches
 honest peers and what the attack costs.
+
+:class:`RlnSpammer` is the *static* one-shot flooder kept for those
+experiments; the scenario harness drives the stateful, chain-aware
+agents of :mod:`repro.adversaries` instead (its ``burst-flood``
+strategy is this behaviour, ported to the engine).
 """
 
 from __future__ import annotations

@@ -76,6 +76,7 @@ class WakuRlnRelayPeer:
         self.contract_address = contract_address
         self.config = config
 
+        self._rng = rng
         self.keypair = MembershipKeyPair.generate(rng)
         self.group = LocalGroup(config.merkle_depth, config.root_window)
         self.prover = RlnProver(
@@ -211,9 +212,37 @@ class WakuRlnRelayPeer:
         )
         if leaf_index is None:
             leaf_index = self.group.tree.find_leaf(self.commitment.element)
-        if leaf_index is not None:
-            self.leaf_index = leaf_index
+        # Adopt the index *unconditionally*: in the adopted state this
+        # commitment either sits at ``leaf_index`` or is absent (not yet
+        # registered, or slashed — in which case a previously held index
+        # is stale and keeping it would let the peer keep proving
+        # against a zeroed leaf).
+        self.leaf_index = leaf_index
         return adopted
+
+    def rotate_identity(self) -> IdentityCommitment:
+        """Discard the current RLN identity and register a fresh one.
+
+        The sybil move the economic analysis is about: a slashed member
+        cannot rejoin with its old commitment (the contract zeroed that
+        slot), but nothing stops the same host from generating a new
+        keypair and staking again. The new registration settles with the
+        next mined block; until this peer's sync applies its own
+        ``MemberRegistered`` event, :attr:`is_registered` stays False
+        and publishing raises. The old identity's nullifier history is
+        irrelevant to the new one — internal nullifiers derive from the
+        secret key, which changes here.
+        """
+        self.keypair = MembershipKeyPair.generate(self._rng)
+        self.prover = RlnProver(
+            keypair=self.keypair,
+            proving_key=self.prover.proving_key,
+            mode=self.config.proving_mode,
+        )
+        self.leaf_index = None
+        self._last_published_epoch = None
+        self.register()
+        return self.commitment
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -310,6 +339,20 @@ class WakuRlnRelayPeer:
         return _OUTCOME_TO_GOSSIP[report.outcome]
 
     # -- slashing ---------------------------------------------------------------------
+
+    def disable_slash_reporting(self) -> None:
+        """Stop claiming slashing rewards for detected double-signals.
+
+        Adversary agents run this: a colluding attack operation does
+        not police itself, and letting attacker wallets collect the
+        reporter bounty for slashing fellow agents would refill the
+        very budgets the economics are supposed to drain. Validation
+        itself is unaffected — the peer still drops spam.
+        """
+        try:
+            self.validator.spam_callbacks.remove(self._submit_slash)
+        except ValueError:
+            pass  # already disabled
 
     def _submit_slash(self, evidence: SlashingEvidence) -> None:
         """Claim the slashing reward for a detected double-signal.

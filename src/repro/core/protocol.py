@@ -125,15 +125,27 @@ class WakuRlnRelayNetwork:
         self._peer_added_callbacks.append(callback)
 
     def add_peer(
-        self, register: bool = True, start: bool = True
+        self,
+        register: bool = True,
+        start: bool = True,
+        bootstrap: str = "replica",
     ) -> WakuRlnRelayPeer:
         """Join a fresh peer mid-simulation (churn model).
 
         The newcomer dials ``degree`` random live peers, optionally
         submits its registration transaction (mined with the next
-        block), and starts relaying; its periodic sync replays the full
-        contract event log, converging its tree with the incumbents'.
+        block), and starts relaying. With ``bootstrap="replica"`` (the
+        default) it adopts the most-synced incumbent's membership
+        replica — the same clone fast path ``register_all`` uses, now
+        safe mid-run — and only replays events newer than that;
+        ``bootstrap="replay"`` keeps the original behaviour of syncing
+        the full contract event log from genesis.
         """
+        if bootstrap not in ("replica", "replay"):
+            raise NetworkError(
+                f"unknown bootstrap mode {bootstrap!r}; "
+                "use 'replica' or 'replay'"
+            )
         peer = self._build_peer(f"peer-{self._next_peer_index}")
         self._next_peer_index += 1
         rng = self.simulator.rng
@@ -141,6 +153,11 @@ class WakuRlnRelayNetwork:
         fanout = self._degree if self._degree is not None else len(alive)
         for neighbor in rng.sample(alive, min(fanout, len(alive))):
             self.network.connect(peer.node_id, neighbor)
+        if bootstrap == "replica" and self.peers:
+            reference = max(
+                self.peers, key=lambda p: p._synced_log_index
+            )
+            peer.adopt_sync_state(reference)
         self.peers.append(peer)
         if register:
             peer.register()

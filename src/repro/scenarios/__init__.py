@@ -21,9 +21,16 @@ from .registry import (
 )
 from .result import ScenarioResult
 from .runner import ScenarioRunner, run_scenario
-from .spec import AdversaryMix, ChurnModel, ScenarioSpec, TrafficModel
+from .spec import (
+    AdversaryGroup,
+    AdversaryMix,
+    ChurnModel,
+    ScenarioSpec,
+    TrafficModel,
+)
 
 __all__ = [
+    "AdversaryGroup",
     "AdversaryMix",
     "ChurnModel",
     "ScenarioResult",

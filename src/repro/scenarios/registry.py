@@ -13,7 +13,13 @@ from __future__ import annotations
 from typing import Dict, Iterable
 
 from ..errors import ScenarioError
-from .spec import AdversaryMix, ChurnModel, ScenarioSpec, TrafficModel
+from .spec import (
+    AdversaryGroup,
+    AdversaryMix,
+    ChurnModel,
+    ScenarioSpec,
+    TrafficModel,
+)
 
 _REGISTRY: Dict[str, ScenarioSpec] = {}
 
@@ -134,6 +140,88 @@ register_scenario(
             "root_window": 2,
             "sync_interval": 12.0,
         },
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="rotating-sybil-economics",
+        description=(
+            "Two rotating sybils on a budget of 6 stakes each: spam, "
+            "get slashed on-chain mid-run, buy a fresh identity, "
+            "repeat until broke. The result's series is the paper's "
+            "cost-of-attack curve: attacker cost climbs monotonically "
+            "while delivered spam stays bounded per identity."
+        ),
+        peers=150,
+        duration=150.0,
+        block_interval=5.0,
+        traffic=TrafficModel(messages_per_epoch=0.5, active_fraction=0.3),
+        adversaries=AdversaryMix(
+            groups=(
+                AdversaryGroup(
+                    strategy="rotating-sybil",
+                    count=2,
+                    budget_stakes=6,
+                    burst=4,
+                ),
+            ),
+        ),
+        config_overrides=_CACHE,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="adaptive-flood",
+        description=(
+            "Adaptive attackers tune burst size to the observed slash "
+            "latency (fast slashing halves the burst, impunity grows "
+            "it) and rotate identities while funds remain — the "
+            "strongest rational flooder the economics must beat."
+        ),
+        peers=150,
+        duration=150.0,
+        block_interval=5.0,
+        traffic=TrafficModel(messages_per_epoch=0.5, active_fraction=0.3),
+        adversaries=AdversaryMix(
+            groups=(
+                AdversaryGroup(
+                    strategy="adaptive-backoff",
+                    count=2,
+                    budget_stakes=5,
+                    burst=8,
+                ),
+            ),
+        ),
+        config_overrides=_CACHE,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="low-and-slow-probe",
+        description=(
+            "An attacker at the legal one-message-per-epoch rate that "
+            "only periodically emits a second message, probing "
+            "detection while spending minimal stake; the economics "
+            "series shows even minimal violations cost whole stakes."
+        ),
+        peers=150,
+        duration=150.0,
+        block_interval=5.0,
+        traffic=TrafficModel(messages_per_epoch=0.5, active_fraction=0.3),
+        adversaries=AdversaryMix(
+            groups=(
+                AdversaryGroup(
+                    strategy="low-and-slow",
+                    count=2,
+                    budget_stakes=3,
+                    params={"probe_every": 3},
+                ),
+            ),
+        ),
+        config_overrides=_CACHE,
     )
 )
 

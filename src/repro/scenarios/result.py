@@ -38,6 +38,15 @@ class ScenarioResult:
     #: Verification work (the hot path the cache batches away).
     proof_verifications: int
     verification_cache_hits: int
+    #: Slashing economics, settled on-chain *during* the run.
+    stake_burnt: int = 0
+    reporter_rewards: int = 0
+    #: Adversary-engine economics (0 / empty without engine agents).
+    attacker_spend: int = 0
+    identity_rotations: int = 0
+    #: Column-oriented per-epoch series from the adversary engine
+    #: (keys like ``t``, ``attacker_cost_wei``, ``spam_delivered``).
+    series: Dict[str, List[float]] = field(default_factory=dict)
     #: Selected validator/router counters (validator.*, gossipsub.*).
     counters: Dict[str, int] = field(default_factory=dict)
     sim_time: float = 0.0
@@ -63,8 +72,16 @@ class ScenarioResult:
             "spam_per_honest_peer": round(self.spam_per_honest_peer, 6),
             "slashes_submitted": self.slashes_submitted,
             "members_slashed": self.members_slashed,
+            "stake_burnt": self.stake_burnt,
+            "reporter_rewards": self.reporter_rewards,
+            "attacker_spend": self.attacker_spend,
+            "identity_rotations": self.identity_rotations,
             "proof_verifications": self.proof_verifications,
             "verification_cache_hits": self.verification_cache_hits,
+            "series": {
+                key: [round(v, 6) for v in values]
+                for key, values in sorted(self.series.items())
+            },
             "counters": dict(sorted(self.counters.items())),
             "sim_time": self.sim_time,
             "events_processed": self.events_processed,
@@ -90,8 +107,19 @@ class ScenarioResult:
         data.pop("seed")
         counters = data.pop("counters")
         extras = data.pop("extras")
+        series = data.pop("series")
         for key, value in data.items():
             lines.append(f"  {key:<26} {value}")
+        if series:
+            lines.append("  attack economics series (per engine epoch):")
+            keys = [k for k in ("t", "spam_sent", "spam_delivered",
+                                "registrations", "attacker_cost_wei",
+                                "stake_burnt_wei") if k in series]
+            lines.append("    " + "  ".join(f"{k:>18}" for k in keys))
+            for row in zip(*(series[k] for k in keys)):
+                lines.append(
+                    "    " + "  ".join(f"{v:>18g}" for v in row)
+                )
         if extras:
             lines.append("  extras:")
             for key, value in extras.items():

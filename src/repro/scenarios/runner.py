@@ -6,6 +6,11 @@ and slashing — through :class:`~repro.core.protocol.WakuRlnRelayNetwork`,
 drives the spec's traffic/adversary/churn processes on the simulated
 clock, and condenses everything into one
 :class:`~repro.scenarios.result.ScenarioResult`.
+
+Adversaries run inside an :class:`~repro.adversaries.AdversaryEngine`:
+slashing settles through the membership contract *during* the run, and
+the engine's per-epoch economics samples surface as the result's
+``series`` (the cost-of-attack curve).
 """
 
 from __future__ import annotations
@@ -13,7 +18,10 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Set
 
-from ..attacks.spam import FloodSpammer, RlnSpammer
+from ..adversaries.base import SPAM_MARKER
+from ..adversaries.engine import AdversaryEngine
+from ..adversaries.strategies import build_strategy
+from ..attacks.spam import FloodSpammer
 from ..baselines.relay_baselines import BaselineNetwork
 from ..core.peer import WakuRlnRelayPeer
 from ..core.protocol import WakuRlnRelayNetwork
@@ -22,9 +30,10 @@ from ..sim.simulator import Simulator
 from .result import ScenarioResult
 from .spec import ScenarioSpec
 
-#: Payload markers used to classify deliveries.
+#: Honest payload marker; spam carries the agents'
+#: :data:`~repro.adversaries.base.SPAM_MARKER` (one shared constant,
+#: so the delivery classifier cannot drift from the emitters).
 HONEST_MARKER = b"MSG|"
-SPAM_MARKER = b"SPAM"
 
 #: Metrics counters copied verbatim into ``ScenarioResult.counters``.
 _COUNTER_PREFIXES = ("validator.", "rln.")
@@ -51,12 +60,15 @@ class ScenarioRunner:
         )
         #: node_id -> [honest deliveries, spam deliveries]
         self._received: Dict[str, List[int]] = {}
-        self._spammer_ids: Set[str] = {
+        #: Every adversary — legacy burst spammers and engine agents —
+        #: occupies the tail of the initial peer list.
+        total_adversaries = spec.adversaries.total_count
+        self._adversary_ids: Set[str] = {
             p.node_id
             for p in self.net.peers[
-                len(self.net.peers) - spec.adversaries.spammer_count :
+                len(self.net.peers) - total_adversaries :
             ]
-        } if spec.adversaries.spammer_count else set()
+        } if total_adversaries else set()
         self._publisher_ids: Set[str] = set()
         self._honest_published = 0
         #: Sum over published messages of honest peers alive at publish
@@ -85,8 +97,16 @@ class ScenarioRunner:
 
     def _honest_peers(self) -> List[WakuRlnRelayPeer]:
         return [
-            p for p in self.net.peers if p.node_id not in self._spammer_ids
+            p for p in self.net.peers if p.node_id not in self._adversary_ids
         ]
+
+    def _spam_delivered_total(self) -> int:
+        """Cumulative spam deliveries to honest peers (engine probe)."""
+        return sum(
+            counts[1]
+            for nid, counts in self._received.items()
+            if nid not in self._adversary_ids
+        )
 
     # -- processes ---------------------------------------------------------------
 
@@ -132,22 +152,36 @@ class ScenarioRunner:
             interval, lambda s: self._periodic(s, fn, interval), "traffic"
         )
 
-    def _schedule_adversaries(self) -> List[RlnSpammer]:
+    def _schedule_adversaries(self) -> Optional[AdversaryEngine]:
+        """Enroll every adversary (strategy groups + legacy burst
+        spammers) into one engine and launch it."""
         mix = self.spec.adversaries
-        spammers: List[RlnSpammer] = []
-        if not mix.spammer_count:
-            return spammers
-        by_id = {p.node_id: p for p in self.net.peers}
-        for node_id in sorted(self._spammer_ids):
-            spammer = RlnSpammer(by_id[node_id], burst=mix.burst)
-            spammers.append(spammer)
-
-        def launch(_sim: Simulator) -> None:
-            for spammer in spammers:
-                spammer.run(self.net, mix.epochs)
-
-        self.net.simulator.schedule(mix.start, launch, label="adversaries")
-        return spammers
+        groups = mix.effective_groups()
+        if not groups:
+            return None
+        engine = AdversaryEngine(
+            self.net,
+            start=mix.start,
+            spam_delivered_probe=self._spam_delivered_total,
+        )
+        stake = self.net.config.stake_wei
+        tail = self.net.peers[len(self.net.peers) - mix.total_count :]
+        cursor = 0
+        for group in groups:
+            for _ in range(group.count):
+                peer = tail[cursor]
+                cursor += 1
+                # An explicit params-level burst wins over the group
+                # default (both reach the factory as the soft `burst`).
+                params = dict(group.params)
+                burst = params.pop("burst", group.burst)
+                engine.add_agent(
+                    peer,
+                    build_strategy(group.strategy, burst=burst, **params),
+                    budget_wei=group.budget_stakes * stake,
+                )
+        engine.launch()
+        return engine
 
     def _schedule_churn(self) -> None:
         churn = self.spec.churn
@@ -193,7 +227,16 @@ class ScenarioRunner:
     # -- baseline comparison ------------------------------------------------------
 
     def _run_baseline(self) -> Dict[str, float]:
-        """Throw the equivalent flood at an unprotected relay network."""
+        """Throw the equivalent flood at an unprotected relay network.
+
+        Each adversary group maps to flooders at its *resolved* burst
+        rate (params-level burst override included, exactly as
+        :meth:`_schedule_adversaries` resolves it) over its attack
+        window: the declared epochs for ``burst-flood``, the whole
+        scenario for persistent strategies. Adaptive strategies change
+        burst mid-attack, so for them the nominal burst makes this an
+        approximation, not like-for-like.
+        """
         spec = self.spec
         mix = spec.adversaries
         baseline = BaselineNetwork(
@@ -203,14 +246,33 @@ class ScenarioRunner:
         baseline.start()
         baseline.run(2.0)
         epoch_length = spec.build_config().epoch_length
-        rate = max(mix.burst, 1) / epoch_length
-        flood_duration = max(mix.epochs, 1) * epoch_length
-        flooders = [
-            FloodSpammer(baseline, f"peer-{i}", rate_per_second=rate)
-            for i in range(max(mix.spammer_count, 1))
-        ]
-        for flooder in flooders:
-            flooder.run(flood_duration)
+        flooders = []
+        for group in mix.effective_groups():
+            params = dict(group.params)
+            burst = params.pop("burst", group.burst)
+            rate = max(burst, 1) / epoch_length
+            if group.strategy == "burst-flood":
+                window = max(int(params.get("epochs", 1)), 1) * epoch_length
+            else:
+                window = max(spec.duration - mix.start, epoch_length)
+            for _ in range(max(group.count, 1)):
+                flooder = FloodSpammer(
+                    baseline,
+                    f"peer-{len(flooders)}",
+                    rate_per_second=rate,
+                )
+                flooders.append(flooder)
+                flooder.run(window)
+        if not flooders:
+            # compare_baseline without adversaries: one reference
+            # flooder at the legacy mix parameters.
+            flooder = FloodSpammer(
+                baseline,
+                "peer-0",
+                rate_per_second=max(mix.burst, 1) / epoch_length,
+            )
+            flooders.append(flooder)
+            flooder.run(max(mix.epochs, 1) * epoch_length)
         baseline.run(spec.duration)
         attacker_ids = {f.node_id for f in flooders}
         honest = {
@@ -241,13 +303,13 @@ class ScenarioRunner:
         net.register_all()
         net.start()
         self._schedule_traffic()
-        spammers = self._schedule_adversaries()
+        engine = self._schedule_adversaries()
         self._schedule_churn()
         net.run(spec.duration)
         net.stop()
 
         honest_receivers = [
-            nid for nid in self._received if nid not in self._spammer_ids
+            nid for nid in self._received if nid not in self._adversary_ids
         ]
         honest_delivered = sum(
             self._received[nid][0] for nid in honest_receivers
@@ -276,6 +338,28 @@ class ScenarioRunner:
         if spec.compare_baseline:
             extras.update(self._run_baseline())
 
+        # Slashing settles on-chain during the run; read the final
+        # flow of funds straight off the chain. Every slashed stake
+        # splits into burn + reporter reward (contract invariant), so
+        # rewards are measured as the unburnt remainder of lost stakes
+        # rather than re-derived from the burn fraction.
+        stake_lost = members_slashed * net.contract.stake_wei
+        reporter_rewards = stake_lost - net.chain.burnt_wei
+        attack_report = engine.report() if engine is not None else None
+        series: Dict[str, List[float]] = (
+            attack_report.series_dict() if attack_report else {}
+        )
+        spam_published = attack_report.spam_sent if attack_report else 0
+        if attack_report:
+            cost = attack_report.cost_per_delivered_spam(spam_delivered)
+            if cost != float("inf"):
+                extras["cost_per_delivered_spam_wei"] = cost
+            latencies = attack_report.slash_latencies
+            if latencies:
+                extras["mean_slash_latency"] = sum(latencies) / len(
+                    latencies
+                )
+
         return ScenarioResult(
             scenario=spec.name,
             seed=spec.seed,
@@ -286,7 +370,7 @@ class ScenarioRunner:
             honest_published=self._honest_published,
             honest_delivered=honest_delivered,
             delivery_rate=honest_delivered / expected if expected else 0.0,
-            spam_published=sum(s.sent for s in spammers),
+            spam_published=spam_published,
             spam_delivered=spam_delivered,
             spam_per_honest_peer=(
                 spam_delivered / len(honest_receivers)
@@ -298,6 +382,15 @@ class ScenarioRunner:
                 for p in (net.peers + net.departed)
             ),
             members_slashed=members_slashed,
+            stake_burnt=net.chain.burnt_wei,
+            reporter_rewards=reporter_rewards,
+            attacker_spend=(
+                attack_report.spend_wei if attack_report else 0
+            ),
+            identity_rotations=(
+                attack_report.rotations if attack_report else 0
+            ),
+            series=series,
             proof_verifications=metrics.counter("rln.proof_verifications"),
             verification_cache_hits=metrics.counter("rln.proof_cache_hits"),
             counters=counters,

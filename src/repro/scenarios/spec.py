@@ -11,7 +11,7 @@ tests shrink full-scale scenarios to CI size without forking them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Tuple
 
 from ..constants import ETH_BLOCK_INTERVAL_SECONDS
 from ..core.config import ProtocolConfig
@@ -40,22 +40,93 @@ class TrafficModel:
 
 
 @dataclass(frozen=True)
+class AdversaryGroup:
+    """``count`` agents running one named adversary strategy.
+
+    ``strategy`` names an entry in the adversary-strategy registry
+    (``repro.adversaries.strategy_names()``). Each agent's wallet is
+    funded with ``budget_stakes`` membership stakes — its whole attack
+    budget, bootstrap registration included — so identity rotation
+    stops when the money does. ``params`` is passed to the strategy
+    factory verbatim (e.g. ``{"epochs": 5}`` for ``burst-flood`` or
+    ``{"probe_every": 3}`` for ``low-and-slow``).
+    """
+
+    strategy: str
+    count: int = 1
+    budget_stakes: int = 4
+    burst: int = 5
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ScenarioError("adversary group count must be >= 0")
+        if self.budget_stakes < 1:
+            raise ScenarioError(
+                "an adversary needs at least 1 stake of budget to exist"
+            )
+        if self.burst < 0:
+            raise ScenarioError("burst must be >= 0")
+        # Validate the name early (typos should fail at spec build, not
+        # mid-run); imported lazily to keep spec a leaf module.
+        from ..adversaries.strategies import strategy_names
+
+        if self.strategy not in strategy_names():
+            raise ScenarioError(
+                f"unknown adversary strategy {self.strategy!r}; "
+                f"choose from {strategy_names()}"
+            )
+
+
+@dataclass(frozen=True)
 class AdversaryMix:
     """Registered members that violate their rate limit.
 
-    Spammers are taken from the *tail* of the initial peer list; each
-    publishes ``burst`` distinct messages per epoch for ``epochs``
-    consecutive epochs starting at ``start`` simulated seconds.
+    Two layers: the legacy fields (``spammer_count``/``burst``/
+    ``epochs``) describe plain one-shot burst flooders, and ``groups``
+    names strategy-driven, budget-constrained agents from the adversary
+    engine. Both may be combined; all adversaries are taken from the
+    *tail* of the initial peer list and start acting at ``start``
+    simulated seconds.
     """
 
     spammer_count: int = 0
     burst: int = 5
     epochs: int = 3
     start: float = 2.0
+    groups: Tuple[AdversaryGroup, ...] = ()
 
     def __post_init__(self) -> None:
         if self.spammer_count < 0 or self.burst < 0 or self.epochs < 0:
             raise ScenarioError("adversary parameters must be >= 0")
+        if not isinstance(self.groups, tuple):
+            object.__setattr__(self, "groups", tuple(self.groups))
+
+    @property
+    def agent_count(self) -> int:
+        """Agents driven by the adversary engine (strategy groups)."""
+        return sum(g.count for g in self.groups)
+
+    @property
+    def total_count(self) -> int:
+        """All adversaries: legacy burst spammers plus engine agents."""
+        return self.spammer_count + self.agent_count
+
+    def effective_groups(self) -> Tuple[AdversaryGroup, ...]:
+        """Spec groups plus the legacy fields folded into one
+        ``burst-flood`` group (listed last, so legacy spammers keep
+        their traditional spot at the very tail of the peer list)."""
+        groups = self.groups
+        if self.spammer_count:
+            groups = groups + (
+                AdversaryGroup(
+                    strategy="burst-flood",
+                    count=self.spammer_count,
+                    burst=self.burst,
+                    params={"epochs": self.epochs},
+                ),
+            )
+        return groups
 
 
 @dataclass(frozen=True)
@@ -109,7 +180,7 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         if self.peers < 2:
             raise ScenarioError("a scenario needs at least 2 peers")
-        if self.adversaries.spammer_count >= self.peers:
+        if self.adversaries.total_count >= self.peers:
             raise ScenarioError("spammers must leave at least one honest peer")
         if self.duration <= 0:
             raise ScenarioError("duration must be positive")
@@ -134,17 +205,39 @@ class ScenarioSpec:
         spec = self
         if peers is not None and peers != spec.peers:
             adversaries = spec.adversaries
+            ratio = peers / spec.peers
             if adversaries.spammer_count:
-                scaled_spammers = max(
-                    1,
-                    round(
-                        adversaries.spammer_count * peers / spec.peers
-                    ),
-                )
                 adversaries = replace(
                     adversaries,
-                    spammer_count=min(scaled_spammers, peers - 1),
+                    spammer_count=max(
+                        1, round(adversaries.spammer_count * ratio)
+                    ),
                 )
+            if adversaries.groups:
+                adversaries = replace(
+                    adversaries,
+                    groups=tuple(
+                        replace(g, count=max(1, round(g.count * ratio)))
+                        for g in adversaries.groups
+                        if g.count
+                    ),
+                )
+            # Never scale adversaries up into the whole network: drop
+            # legacy spammers first, then trim groups, until at least
+            # one honest peer remains.
+            while adversaries.total_count >= peers:
+                if adversaries.spammer_count:
+                    adversaries = replace(
+                        adversaries,
+                        spammer_count=adversaries.spammer_count - 1,
+                    )
+                else:
+                    groups = list(adversaries.groups)
+                    for i, g in enumerate(groups):
+                        if g.count:
+                            groups[i] = replace(g, count=g.count - 1)
+                            break
+                    adversaries = replace(adversaries, groups=tuple(groups))
             spec = replace(spec, peers=peers, adversaries=adversaries)
         if duration is not None:
             spec = replace(spec, duration=duration)

@@ -1,0 +1,115 @@
+"""Identity-rotation semantics (the economics' fine print).
+
+A slashed member may always re-enter with a fresh commitment — that is
+the point of the *economic* argument: re-entry is possible but costs a
+whole new stake. These tests pin the three properties the argument
+rests on: re-admission under a fresh commitment, no nullifier carryover
+from the old identity, and the new stake being genuinely at risk.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import WakuRlnRelayNetwork
+
+CONFIG = ProtocolConfig(verification_cache_size=4096)
+
+
+def _slashed_network(seed: int = 5):
+    """A running network whose last peer just got slashed for a
+    double-signal; returns (net, spammer, old_commitment)."""
+    net = WakuRlnRelayNetwork(
+        peer_count=6,
+        config=CONFIG,
+        seed=seed,
+        degree=None,
+        block_interval=2.0,
+    )
+    net.register_all()
+    net.start()
+    net.run(2.0)
+    spammer = net.peers[-1]
+    old_commitment = spammer.commitment
+    for i in range(3):  # three distinct messages in one epoch
+        spammer.publish(f"SPAM|{i}".encode(), bypass_rate_limit=True)
+    net.run(10.0)  # detection, slash tx, mining, sync
+    assert not net.contract.is_member(int(old_commitment.element))
+    return net, spammer, old_commitment
+
+
+def test_rotated_identity_is_readmitted_under_fresh_commitment():
+    net, spammer, old_commitment = _slashed_network()
+    old_leaf = spammer.group.tree.find_leaf(old_commitment.element)
+    assert old_leaf is None  # removal reached its own replica
+    assert not spammer.is_registered
+
+    new_commitment = spammer.rotate_identity()
+    assert new_commitment != old_commitment
+    net.run(10.0)  # registration mined + synced
+    assert spammer.is_registered
+    assert net.contract.is_member(int(new_commitment.element))
+    assert not net.contract.is_member(int(old_commitment.element))
+    # The fresh identity occupies a fresh slot; the old one stays zero.
+    assert spammer.leaf_index == net.contract.member_count() - 1
+
+    # And the rotated identity publishes successfully to everyone.
+    deliveries = net.collect_deliveries()
+    spammer.publish(b"MSG|rotated|0")
+    net.run(5.0)
+    received = [
+        nid
+        for nid, msgs in deliveries.items()
+        if any(m.startswith(b"MSG|rotated") for m in msgs)
+    ]
+    assert len(received) == len(net.peers)
+
+
+def test_old_nullifier_history_does_not_carry_over():
+    net, spammer, _old = _slashed_network()
+    spammer.rotate_identity()
+    net.run(10.0)
+    assert spammer.is_registered
+
+    # The old identity already burned this epoch's nullifier slots with
+    # three spam messages. If history carried over, the new identity's
+    # very first message would look like yet another double-signal and
+    # be dropped. It must instead relay network-wide: the internal
+    # nullifier derives from the *new* secret key.
+    before = net.metrics.counter("validator.double_signals")
+    deliveries = net.collect_deliveries()
+    spammer.publish(b"MSG|fresh-identity")
+    net.run(5.0)
+    delivered_to = sum(
+        1
+        for msgs in deliveries.values()
+        if any(m.startswith(b"MSG|fresh-identity") for m in msgs)
+    )
+    assert delivered_to == len(net.peers)
+    assert net.metrics.counter("validator.double_signals") == before
+
+
+def test_second_double_signal_slashes_the_new_stake():
+    net, spammer, _old = _slashed_network()
+    balance_after_first_slash = spammer.balance
+    spammer.rotate_identity()
+    net.run(10.0)
+    assert spammer.is_registered
+    new_commitment = spammer.commitment
+    # The rotation locked a second stake.
+    assert (
+        spammer.balance == balance_after_first_slash - net.config.stake_wei
+    )
+
+    for i in range(3):
+        spammer.publish(f"SPAM|again|{i}".encode(), bypass_rate_limit=True)
+    net.run(10.0)
+
+    assert not net.contract.is_member(int(new_commitment.element))
+    assert not spammer.is_registered
+    removed = [
+        e for e in net.chain.events_since(0) if e.name == "MemberRemoved"
+    ]
+    assert len(removed) == 2  # both identities slashed
+    # Both stakes are gone for good: half burnt, half to reporters.
+    burn_per_slash = int(net.config.stake_wei * net.config.burn_fraction)
+    assert net.chain.burnt_wei == 2 * burn_per_slash
