@@ -35,12 +35,15 @@ STRATEGIES = (
 )
 
 
-def _spec(strategy: str, params: dict, budget_stakes: int) -> ScenarioSpec:
+def _spec(
+    strategy: str, params: dict, budget_stakes: int, peers: int,
+    duration: float,
+) -> ScenarioSpec:
     return ScenarioSpec(
         name=f"bench-{strategy}",
-        description=f"1k-peer attack benchmark for {strategy}",
-        peers=PEERS,
-        duration=DURATION,
+        description=f"attack benchmark for {strategy} at {peers} peers",
+        peers=peers,
+        duration=duration,
         block_interval=5.0,
         traffic=TrafficModel(messages_per_epoch=0.25, active_fraction=0.05),
         adversaries=AdversaryMix(
@@ -58,11 +61,13 @@ def _spec(strategy: str, params: dict, budget_stakes: int) -> ScenarioSpec:
     )
 
 
-def test_adversary_strategies_at_1k_peers(record_table):
+def test_adversary_strategies_at_1k_peers(record_table, bench_scale):
+    peers = bench_scale.n(PEERS, 25)
+    duration = bench_scale.n(DURATION, 40.0)
     rows = []
     for strategy, params, budget_stakes in STRATEGIES:
         started = time.perf_counter()
-        spec = _spec(strategy, params, budget_stakes)
+        spec = _spec(strategy, params, budget_stakes, peers, duration)
         result = ScenarioRunner(spec).run()
         wall = time.perf_counter() - started
         latency = result.extras.get("mean_slash_latency")
@@ -86,7 +91,7 @@ def test_adversary_strategies_at_1k_peers(record_table):
         assert result.stake_burnt > 0
     record_table(
         "bench_adversaries_1k_peers",
-        f"Adversary engine at {PEERS} peers, {DURATION:.0f}s simulated "
+        f"Adversary engine at {peers} peers, {duration:.0f}s simulated "
         "(2 agents per strategy)",
         (
             "strategy",

@@ -1,0 +1,179 @@
+"""Gossip heartbeat bookkeeping: batched vs reference sweeps.
+
+Two measurements around ``GossipSubParams.batched_bookkeeping``:
+
+* a heartbeat microbenchmark — 1000 routers multiplexing several
+  topics over one overlay, timed across a window of simulated seconds
+  with batched bookkeeping on and off. Batched mode must cut the
+  heartbeat cost by at least 3x (in practice it is >10x: lazy score
+  decay on a global clock, dirty-topic mesh maintenance, heap-expired
+  backoffs, per-topic mcache indexes);
+* an end-to-end equivalence matrix — the ``multi-topic-churn``
+  scenario run in all four (verification cache on/off) x (batched
+  bookkeeping on/off) combinations, asserting **bit-identical**
+  delivery and slashing outcomes: both switches only change the work
+  done, never a protocol decision.
+
+Run with ``pytest benchmarks/bench_gossip_bookkeeping.py -s``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from repro.gossipsub.params import GossipSubParams
+from repro.gossipsub.router import GossipSubRouter
+from repro.net.network import Network
+from repro.net.topology import connect_random_regular
+from repro.scenarios import run_scenario, scenario
+from repro.sim.simulator import Simulator
+
+
+def _build_overlay(batched: bool, peers: int, topics: int, degree: int):
+    sim = Simulator(seed=1)
+    net = Network(simulator=sim)
+    params = GossipSubParams(batched_bookkeeping=batched)
+    routers = [GossipSubRouter(f"p{i}", net, params) for i in range(peers)]
+    connect_random_regular(net, [r.node_id for r in routers], degree, seed=1)
+    names = [f"/bench/topic-{t}" for t in range(topics)]
+    for router in routers:
+        for name in names:
+            router.subscribe(name)
+    for router in routers:
+        router.start()
+    sim.run_for(3.0)  # mesh formation warm-up
+    return sim, routers
+
+
+def test_heartbeat_cost_batched_vs_legacy(record_table, bench_scale):
+    """Pure heartbeat cost at scale (no RLN, no traffic): the
+    per-(peer, topic) bookkeeping the batched mode amortises away."""
+    peers = bench_scale.n(1000, 40)
+    topics = bench_scale.n(8, 3)
+    window = bench_scale.n(20.0, 5.0)
+
+    rows = []
+    results = {}
+    for label, batched in (("legacy sweep", False), ("batched", True)):
+        sim, routers = _build_overlay(batched, peers, topics, degree=8)
+        start = time.perf_counter()
+        sim.run_for(window)
+        elapsed = time.perf_counter() - start
+        heartbeats = sim.events_processed
+        results[label] = elapsed
+        mesh_sizes = [
+            len(r.mesh.get("/bench/topic-0", ())) for r in routers
+        ]
+        rows.append(
+            (
+                label,
+                peers,
+                topics,
+                round(elapsed, 3),
+                round(elapsed / window * 1000, 1),
+                round(sum(mesh_sizes) / len(mesh_sizes), 1),
+            )
+        )
+
+    speedup = results["legacy sweep"] / results["batched"]
+    record_table(
+        "bench_gossip_bookkeeping_heartbeat",
+        f"Heartbeat bookkeeping, {peers} routers x {topics} topics",
+        (
+            "mode",
+            "peers",
+            "topics",
+            "wall clock (s)",
+            "ms per simulated s",
+            "mean mesh size",
+        ),
+        rows,
+        note=f"batched speedup: {speedup:.1f}x "
+        "(lazy decay + dirty-topic maintenance + heap backoffs)",
+    )
+    if not bench_scale.quick:
+        assert speedup >= 3.0, (
+            f"batched bookkeeping must be >=3x cheaper, got {speedup:.2f}x"
+        )
+
+
+def _behaviour_fingerprint(result) -> dict:
+    """Every protocol outcome of a run — everything except the *work*
+    counters (proof verifications / cache hits) the switches change."""
+    return {
+        "honest_published": result.honest_published,
+        "honest_delivered": result.honest_delivered,
+        "delivery_rate": round(result.delivery_rate, 9),
+        "spam_published": result.spam_published,
+        "spam_delivered": result.spam_delivered,
+        "slashes_submitted": result.slashes_submitted,
+        "members_slashed": result.members_slashed,
+        "stake_burnt": result.stake_burnt,
+        "reporter_rewards": result.reporter_rewards,
+        "attacker_spend": result.attacker_spend,
+        "identity_rotations": result.identity_rotations,
+        "joined": result.joined,
+        "left": result.left,
+        "topics": result.topics,
+    }
+
+
+def test_multi_topic_outcomes_identical_across_modes(
+    record_table, bench_scale
+):
+    """Cache on/off x batched on/off: four runs, one behaviour."""
+    peers = bench_scale.n(150, 20)
+    duration = bench_scale.n(90.0, 40.0)
+    base = scenario("multi-topic-churn").scaled(
+        peers=peers, duration=duration
+    )
+
+    rows = []
+    behaviours = {}
+    wall = {}
+    for cache_label, cache_size in (("cache", 65536), ("no-cache", 0)):
+        for book_label, batched in (("batched", True), ("legacy", False)):
+            spec = replace(
+                base,
+                config_overrides={
+                    "verification_cache_size": cache_size,
+                    "gossip": GossipSubParams(batched_bookkeeping=batched),
+                },
+            )
+            result = run_scenario(spec)
+            key = f"{cache_label}+{book_label}"
+            behaviours[key] = _behaviour_fingerprint(result)
+            wall[key] = result.wall_clock_seconds
+            rows.append(
+                (
+                    key,
+                    round(result.wall_clock_seconds, 2),
+                    result.proof_verifications,
+                    round(result.delivery_rate, 4),
+                    result.spam_delivered,
+                    result.members_slashed,
+                )
+            )
+
+    record_table(
+        "bench_gossip_bookkeeping_equivalence",
+        f"multi-topic-churn at {peers} peers: outcome equivalence matrix",
+        (
+            "mode",
+            "wall clock (s)",
+            "proof verifications",
+            "delivery rate",
+            "spam delivered",
+            "slashed",
+        ),
+        rows,
+        note="All four behaviour fingerprints must be identical; only "
+        "the work differs.",
+    )
+    reference = behaviours["cache+batched"]
+    for key, behaviour in behaviours.items():
+        assert behaviour == reference, f"{key} diverged from cache+batched"
+    if not bench_scale.quick:
+        # The fast configuration must actually be the fast one.
+        assert wall["cache+batched"] < wall["no-cache+legacy"]

@@ -48,8 +48,9 @@ def test_merkle_proof_extraction(benchmark, prover_setup):
     assert proof.depth == 20
 
 
-def test_regenerate_e1_table(record_table):
-    headers, rows = proof_generation_experiment(depths=(10, 16, 20, 26, 32))
+def test_regenerate_e1_table(record_table, bench_scale):
+    depths = bench_scale.n((10, 16, 20, 26, 32), (10, 16))
+    headers, rows = proof_generation_experiment(depths=depths)
     record_table(
         "e1_proof_generation",
         "E1: proof generation vs group size (paper: ~0.5 s at 2^32)",
@@ -63,4 +64,5 @@ def test_regenerate_e1_table(record_table):
     # Shape assertions: monotone growth with depth, 0.5 s anchor at 32.
     modeled = [row[3] for row in rows]
     assert modeled == sorted(modeled)
-    assert modeled[-1] == pytest.approx(0.5)
+    if not bench_scale.quick:
+        assert modeled[-1] == pytest.approx(0.5)

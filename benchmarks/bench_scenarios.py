@@ -49,10 +49,10 @@ def _make_validators(vk, tree_root, simulator, routers, cache):
     return validators
 
 
-def test_validation_throughput_batched_vs_naive(record_table):
+def test_validation_throughput_batched_vs_naive(record_table, bench_scale):
     """Hot path in isolation: every router validates every signal."""
-    routers = 200
-    senders = 30
+    routers = bench_scale.n(200, 20)
+    senders = bench_scale.n(30, 5)
     pk, vk = rln_keys(seed=b"bench-scenarios")
     rng = random.Random(7)
     tree = MerkleTree(16)
@@ -102,12 +102,15 @@ def test_validation_throughput_batched_vs_naive(record_table):
     )
     (naive_t, naive_out), (batched_t, batched_out) = results.values()
     assert batched_out == naive_out  # caching never changes outcomes
-    assert batched_t < naive_t
+    if not bench_scale.quick:
+        assert batched_t < naive_t
 
 
-def test_1k_peer_scenario_batched_beats_naive(record_table):
+def test_1k_peer_scenario_batched_beats_naive(record_table, bench_scale):
     """End-to-end: the full burst-spammer scenario at 1000 peers."""
-    base = scenario("burst-spammer").scaled(peers=1000, duration=30.0)
+    base = scenario("burst-spammer").scaled(
+        peers=bench_scale.n(1000, 40), duration=30.0
+    )
     base = replace(
         base,
         traffic=replace(
@@ -160,5 +163,7 @@ def test_1k_peer_scenario_batched_beats_naive(record_table):
         "members_slashed",
     ):
         assert getattr(naive, field) == getattr(batched, field)
-    assert batched.proof_verifications < naive.proof_verifications / 100
-    assert batched.wall_clock_seconds < naive.wall_clock_seconds
+    assert batched.proof_verifications < naive.proof_verifications
+    if not bench_scale.quick:
+        assert batched.proof_verifications < naive.proof_verifications / 100
+        assert batched.wall_clock_seconds < naive.wall_clock_seconds

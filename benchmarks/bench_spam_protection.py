@@ -30,8 +30,11 @@ def test_rln_attack_round(benchmark):
     assert not net.peer(0).is_registered
 
 
-def test_regenerate_e7_table(record_table):
-    headers, rows = spam_protection_experiment(peer_count=40)
+def test_regenerate_e7_table(record_table, bench_scale):
+    headers, rows = spam_protection_experiment(
+        peer_count=bench_scale.n(40, 15),
+        attack_epochs=bench_scale.n(5, 2),
+    )
     record_table(
         "e7_spam_protection",
         "E7: spam reach under attack, vs PoW / peer-scoring / plain",
@@ -51,7 +54,10 @@ def test_regenerate_e7_table(record_table):
     # RLN: attacker removed, spam per peer bounded by ~1 per epoch seen.
     assert "yes" in rln[4]
     assert rln[3] <= 3
-    # Baselines: attacker persists and spam flows freely.
-    assert "no" in plain[4] and plain[3] > 10 * rln[3]
-    assert "no" in botnet[4] and botnet[3] > 10 * rln[3]
-    assert "no" in pow_row[4] and pow_row[3] > 10 * rln[3]
+    # Baselines: attacker persists.
+    assert "no" in plain[4] and "no" in botnet[4] and "no" in pow_row[4]
+    if not bench_scale.quick:
+        # ...and spam flows freely (ratios only meaningful at scale).
+        assert plain[3] > 10 * rln[3]
+        assert botnet[3] > 10 * rln[3]
+        assert pow_row[3] > 10 * rln[3]

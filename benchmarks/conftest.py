@@ -3,15 +3,57 @@
 Every ``bench_*`` module regenerates one experiment of DESIGN.md's
 index. Tables are printed (visible with ``pytest -s``) and written to
 ``benchmarks/results/*.txt`` so EXPERIMENTS.md can cite them.
+
+Quick mode
+----------
+
+``pytest benchmarks --bench-quick`` runs every benchmark at a tiny
+scale: each script still imports, builds its rig and completes one
+iteration, but with sizes shrunk through the :func:`bench_scale`
+fixture and with performance *assertions* relaxed (timing comparisons
+are meaningless at toy sizes). The tier-1 suite runs this mode as a
+smoke job (``tests/benchmarks/test_bench_quick_smoke.py``) so bench
+scripts cannot silently rot as the APIs underneath them move.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-quick",
+        action="store_true",
+        default=False,
+        help="run benchmarks at smoke scale (one tiny iteration, "
+        "timing assertions relaxed)",
+    )
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Scale selector handed to every benchmark.
+
+    ``quick`` is True under ``--bench-quick``; ``n(full, quick)`` picks
+    the matching size. Benchmarks must keep *assertions about timing*
+    behind ``if not scale.quick`` — correctness assertions stay on.
+    """
+
+    quick: bool
+
+    def n(self, full, quick):
+        return quick if self.quick else full
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request) -> BenchScale:
+    return BenchScale(quick=request.config.getoption("--bench-quick"))
 
 
 @pytest.fixture(scope="session")
@@ -21,14 +63,20 @@ def results_dir() -> Path:
 
 
 @pytest.fixture
-def record_table(results_dir):
-    """Write (and echo) one experiment table."""
+def record_table(results_dir, bench_scale):
+    """Write (and echo) one experiment table.
+
+    Under ``--bench-quick`` the table is printed but *not* persisted:
+    smoke-scale numbers must never overwrite the recorded full-scale
+    results that EXPERIMENTS.md cites.
+    """
 
     def write(name: str, title: str, headers, rows, note: str = "") -> str:
         from repro.analysis import format_experiment
 
         text = format_experiment(title, headers, rows, note)
-        (results_dir / f"{name}.txt").write_text(text)
+        if not bench_scale.quick:
+            (results_dir / f"{name}.txt").write_text(text)
         print("\n" + text)
         return text
 

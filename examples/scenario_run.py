@@ -1,20 +1,39 @@
-"""Run built-in scenarios and a custom one from the scenario harness.
+"""Run built-in scenarios and a custom multi-topic one.
 
 Usage::
 
     PYTHONPATH=src python examples/scenario_run.py
 
 Demonstrates (1) running a registered scenario at reduced scale,
-(2) declaring and registering a custom scenario, and (3) comparing the
-batched verification fast path against naive per-message verification.
+(2) declaring and registering a custom multi-topic scenario with a
+topic-targeted adversary, and (3) comparing the two performance
+switches (shared verification cache, batched gossip bookkeeping)
+on identical workloads.
+
+Equivalent CLI commands (same engine, same deterministic results)::
+
+    PYTHONPATH=src python -m repro.analysis list-scenarios
+    PYTHONPATH=src python -m repro.analysis list-strategies
+    PYTHONPATH=src python -m repro.analysis run-scenario burst-spammer --peers 60
+    PYTHONPATH=src python -m repro.analysis run-scenario multi-topic-churn --json
+
+``result.format()`` prints the full report: delivery/spam counters,
+the slashing economics settled on-chain during the run
+(``stake_burnt``, ``reporter_rewards``, ``attacker_spend``,
+``identity_rotations``), the per-epoch cost-of-attack series, a
+per-topic breakdown for multi-topic runs, and the deterministic
+``fingerprint``.
 """
 
 from dataclasses import replace
 
+from repro.gossipsub.params import GossipSubParams
 from repro.scenarios import (
+    AdversaryGroup,
     AdversaryMix,
     ChurnModel,
     ScenarioSpec,
+    TopicSpec,
     TrafficModel,
     register_scenario,
     run_scenario,
@@ -23,42 +42,75 @@ from repro.scenarios import (
 
 
 def main() -> None:
-    # 1. A built-in scenario, scaled down for a quick local run.
+    # 1. A built-in scenario, scaled down for a quick local run. The
+    # report includes the adversary-engine economics (attacker_spend,
+    # identity_rotations, the cost-of-attack series).
     result = run_scenario(scenario("burst-spammer"), peers=60, duration=60)
     print(result.format())
     print()
 
-    # 2. A custom scenario: two spammers under churn, small root window.
+    # 2. A custom multi-topic scenario: two topics over one mesh, a
+    # rotating sybil aimed at the busy one, churn underneath. The
+    # result's per-topic breakdown shows where traffic and spam landed.
     custom = register_scenario(
         ScenarioSpec(
-            name="example-churny-spam",
-            description="spammers + churn + tight root window",
+            name="example-market-attack",
+            description="topic-targeted sybil + churn on a 2-topic mesh",
             peers=50,
             duration=80.0,
             traffic=TrafficModel(messages_per_epoch=0.5, active_fraction=0.4),
-            adversaries=AdversaryMix(spammer_count=2, burst=4, epochs=2),
+            topics=(
+                TopicSpec("/waku/2/market/proto", traffic_weight=3.0,
+                          subscribe_fraction=0.7),
+                TopicSpec("/waku/2/telemetry/proto", traffic_weight=0.5,
+                          subscribe_fraction=0.3, rln_protected=False),
+            ),
+            adversaries=AdversaryMix(
+                groups=(
+                    AdversaryGroup(
+                        "rotating-sybil",
+                        count=1,
+                        budget_stakes=4,
+                        burst=4,
+                        target_topics=("/waku/2/market/proto",),
+                    ),
+                ),
+            ),
             churn=ChurnModel(join_interval=9.0, max_joins=5),
-            config_overrides={
-                "root_window": 4,
-                "verification_cache_size": 16384,
-            },
+            config_overrides={"verification_cache_size": 16384},
         ),
         replace=True,
     )
-    print(run_scenario(custom).format())
+    result = run_scenario(custom)
+    print(result.format())
+    market = result.topics["/waku/2/market/proto"]
+    print(
+        f"\n  market topic: {market['spam_delivered']:.0f} spam delivered "
+        f"to {market['subscribers']:.0f} subscribers; "
+        f"delivery rate {market['delivery_rate']:.3f}"
+    )
     print()
 
-    # 3. Batched vs naive verification on the same workload.
-    for label, size in (("naive", 0), ("batched", 65536)):
+    # 3. The performance switches on the same workload: outcomes are
+    # bit-identical, only the work (and wall clock) changes.
+    base = scenario("burst-spammer").scaled(peers=60, duration=60)
+    for label, cache, batched in (
+        ("naive everything", 0, False),
+        ("cache + batched bookkeeping", 65536, True),
+    ):
         spec = replace(
-            scenario("burst-spammer").scaled(peers=60, duration=60),
-            config_overrides={"verification_cache_size": size},
+            base,
+            config_overrides={
+                "verification_cache_size": cache,
+                "gossip": GossipSubParams(batched_bookkeeping=batched),
+            },
         )
         r = run_scenario(spec)
         print(
-            f"{label:>8}: {r.proof_verifications} proof verifications, "
+            f"{label:>28}: {r.proof_verifications} proof verifications, "
             f"{r.verification_cache_hits} cache hits, "
-            f"{r.wall_clock_seconds:.2f}s wall clock"
+            f"{r.wall_clock_seconds:.2f}s wall clock, "
+            f"slashed={r.members_slashed}"
         )
 
 

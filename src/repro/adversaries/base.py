@@ -14,7 +14,7 @@ re-register while funds remain.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, TYPE_CHECKING
+from typing import List, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.peer import WakuRlnRelayPeer
@@ -86,11 +86,15 @@ class AdversaryAgent:
         peer: "WakuRlnRelayPeer",
         strategy: AdversaryStrategy,
         budget_wei: int,
+        target_topics: Tuple[str, ...] = (),
     ) -> None:
         self.peer = peer
         self.strategy = strategy
         self.budget_wei = budget_wei
         self.node_id = peer.node_id
+        #: Pubsub topics this agent spams, round-robin per message;
+        #: empty = the peer's primary topic.
+        self.target_topics: Tuple[str, ...] = tuple(target_topics)
         self.spam_sent = 0
         #: Identities bought so far (the bootstrap registration is #1).
         self.registrations = 1
@@ -183,9 +187,12 @@ class AdversaryAgent:
     def emit_spam(self, count: int, now: float) -> int:
         """Publish ``count`` distinct messages right now; returns #sent.
 
-        Stops early once the agent's own replica shows the membership
-        gone — its proofs no longer verify against any fresh root, so
-        continuing is pointless for the attacker.
+        With ``target_topics`` set, messages round-robin across the
+        targets (rate limits are per topic, so concentrating a burst on
+        one topic is what produces double-signals there). Stops early
+        once the agent's own replica shows the membership gone — its
+        proofs no longer verify against any fresh root, so continuing
+        is pointless for the attacker.
         """
         from ..errors import RegistrationError
 
@@ -197,8 +204,15 @@ class AdversaryAgent:
                 SPAM_MARKER
                 + f"|{self.node_id}|{self.registrations}|{self.spam_sent}".encode()
             )
+            topic = None
+            if self.target_topics:
+                topic = self.target_topics[
+                    self.spam_sent % len(self.target_topics)
+                ]
             try:
-                self.peer.publish(payload, bypass_rate_limit=True)
+                self.peer.publish(
+                    payload, bypass_rate_limit=True, pubsub_topic=topic
+                )
             except RegistrationError:
                 break
             self.spam_sent += 1

@@ -62,18 +62,25 @@ class AdversaryEngine:
         peer: "WakuRlnRelayPeer",
         strategy: AdversaryStrategy,
         budget_wei: int,
+        target_topics=(),
     ) -> AdversaryAgent:
         """Enroll ``peer`` as an attacker with ``budget_wei`` to spend.
 
         The peer must already hold its bootstrap registration (the
         scenario runner registers everyone up front); its wallet is
-        reset to the attack budget net of that first stake. Agents do
+        reset to the attack budget net of that first stake.
+        ``target_topics`` points the agent's spam at specific RLN
+        topics (the peer joins any it has not joined yet). Agents do
         not claim slashing bounties — a colluding operation does not
         police itself, and reporter rewards flowing back into attacker
         wallets would refill the budget the attack is supposed to
         exhaust (the cost series would under-state the true cost).
         """
-        agent = AdversaryAgent(peer, strategy, budget_wei)
+        for topic in target_topics:
+            peer.join_rln_topic(topic)
+        agent = AdversaryAgent(
+            peer, strategy, budget_wei, target_topics=tuple(target_topics)
+        )
         agent.fund()
         peer.disable_slash_reporting()
         self.agents.append(agent)

@@ -16,7 +16,7 @@ Figure 1:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..crypto.field import Fr
 from ..crypto.keys import IdentityCommitment, MembershipKeyPair
@@ -38,6 +38,9 @@ from .validator import RlnMessageValidator, ValidationOutcome
 
 #: Application handler: (payload bytes, message id).
 PayloadHandler = Callable[[bytes, str], None]
+
+#: Topic-aware application handler: (pubsub topic, payload, message id).
+TopicPayloadHandler = Callable[[str, bytes, str], None]
 
 #: Mapping from validation outcomes to gossip-layer actions. Spam and
 #: duplicates are IGNOREd rather than REJECTed: the forwarding hop is
@@ -84,21 +87,10 @@ class WakuRlnRelayPeer:
             proving_key=proving_key,
             mode=config.proving_mode,
         )
+        self._verifying_key = verifying_key
+        self._verification_cache = verification_cache
         self.epoch_tracker = EpochTracker(
             network.simulator, config.epoch_length, clock_skew
-        )
-        verifier = RlnVerifier(
-            verifying_key=verifying_key,
-            root_predicate=self.group.is_acceptable_root,
-            domain=config.domain,
-            cache=verification_cache,
-            metrics=network.metrics,
-        )
-        self.validator = RlnMessageValidator(
-            verifier=verifier,
-            epoch_tracker=self.epoch_tracker,
-            nullifier_map=NullifierMap(config.thr),
-            metrics=network.metrics,
         )
         processing_delay = (
             config.performance_model.verify_seconds
@@ -111,13 +103,16 @@ class WakuRlnRelayPeer:
             gossip_params=config.gossip,
             processing_delay=processing_delay,
         )
-        # Scope the RLN checks to the RLN topic: the same host may join
-        # other (non-rate-limited) topics on the same relay node.
-        self.relay.add_validator(
-            self._validate_waku_message, topic=self.relay.pubsub_topic
-        )
-        self.relay.on_message(self._handle_waku_message)
-        self.validator.on_spam(self._submit_slash)
+        #: pubsub topic -> its RLN validator (own nullifier map, own
+        #: domain-separated external nullifiers). One RLN group per
+        #: topic, as in the paper's Section III; membership (the stake
+        #: and the Merkle tree) is shared across all of them.
+        self.rln_topics: Dict[str, RlnMessageValidator] = {}
+        self._slash_reporting = True
+        # The primary topic is RLN-protected from birth; the same host
+        # may join other (free or RLN) topics on the same relay node.
+        self.validator = self._join_rln_topic(self.relay.pubsub_topic)
+        self.relay.on_topic_message(self._handle_waku_message)
 
         balance = (
             initial_balance_wei
@@ -128,12 +123,73 @@ class WakuRlnRelayPeer:
 
         self.leaf_index: Optional[int] = None
         self.payload_handlers: List[PayloadHandler] = []
+        self.topic_payload_handlers: List[TopicPayloadHandler] = []
         self.slashes_submitted = 0
         self._slashes_reported: set = set()
         self._synced_log_index = 0
         self._membership_events_applied = 0
-        self._last_published_epoch: Optional[int] = None
+        #: pubsub topic -> epoch of this peer's last honest publish
+        #: (the self-enforced one-message-per-epoch-per-topic limit).
+        self._last_published_epochs: Dict[str, int] = {}
         self._stop_tasks: List[Callable[[], None]] = []
+
+    # -- topics ----------------------------------------------------------------
+
+    def _topic_domain(self, pubsub_topic: str) -> Optional[str]:
+        """RLN domain tag for ``pubsub_topic``.
+
+        The primary topic keeps the deployment's configured domain
+        (wire-compatible with single-topic deployments); every other
+        RLN topic gets a domain derived from its name, so external
+        nullifiers — and therefore rate limits and double-signal
+        detection — are independent per topic.
+        """
+        if pubsub_topic == self.relay.pubsub_topic:
+            return self.config.domain
+        base = self.config.domain or ""
+        return f"{base}|topic:{pubsub_topic}"
+
+    def _join_rln_topic(self, pubsub_topic: str) -> RlnMessageValidator:
+        verifier = RlnVerifier(
+            verifying_key=self._verifying_key,
+            root_predicate=self.group.is_acceptable_root,
+            domain=self._topic_domain(pubsub_topic),
+            cache=self._verification_cache,
+            metrics=self.network.metrics,
+        )
+        validator = RlnMessageValidator(
+            verifier=verifier,
+            epoch_tracker=self.epoch_tracker,
+            nullifier_map=NullifierMap(self.config.thr),
+            metrics=self.network.metrics,
+        )
+        if self._slash_reporting:
+            validator.on_spam(self._submit_slash)
+        self.rln_topics[pubsub_topic] = validator
+        self.relay.join_topic(pubsub_topic)
+        self.relay.add_validator(
+            lambda message, topic=pubsub_topic: self._validate_waku_message(
+                message, topic
+            ),
+            topic=pubsub_topic,
+        )
+        return validator
+
+    def join_rln_topic(self, pubsub_topic: str) -> None:
+        """Join ``pubsub_topic`` as a member of its RLN group.
+
+        The topic gets its own rate limit (one message per epoch per
+        topic), its own nullifier map and domain-separated external
+        nullifiers; slashing evidence from any topic settles against
+        the one shared membership stake. Idempotent.
+        """
+        if pubsub_topic in self.rln_topics:
+            return
+        self._join_rln_topic(pubsub_topic)
+
+    def join_open_topic(self, pubsub_topic: str) -> None:
+        """Join a topic with no RLN protection (free traffic)."""
+        self.relay.join_topic(pubsub_topic)
 
     # -- registration & sync --------------------------------------------------
 
@@ -240,7 +296,7 @@ class WakuRlnRelayPeer:
             mode=self.config.proving_mode,
         )
         self.leaf_index = None
-        self._last_published_epoch = None
+        self._last_published_epochs.clear()
         self.register()
         return self.commitment
 
@@ -261,11 +317,16 @@ class WakuRlnRelayPeer:
         self._stop_tasks.append(
             sim.schedule_periodic(
                 self.config.epoch_length,
-                lambda _sim: self.validator.housekeeping(),
+                lambda _sim: self._housekeeping(),
                 label=f"gc:{self.node_id}",
                 jitter=0.2,
             )
         )
+
+    def _housekeeping(self) -> None:
+        """Prune every RLN topic's nullifier map to its window."""
+        for validator in self.rln_topics.values():
+            validator.housekeeping()
 
     def stop(self) -> None:
         self.relay.stop()
@@ -280,28 +341,40 @@ class WakuRlnRelayPeer:
         payload: bytes,
         content_topic: str = "/repro/1/chat/proto",
         bypass_rate_limit: bool = False,
+        pubsub_topic: Optional[str] = None,
     ) -> str:
         """Publish one rate-limited message; returns the message ID.
 
-        Honest peers enforce their own one-message-per-epoch limit and
-        get :class:`RateLimitError` when exceeding it; adversarial
-        simulations pass ``bypass_rate_limit=True`` to emit the
-        double-signals the network is supposed to catch.
+        ``pubsub_topic`` selects which joined RLN topic carries the
+        message (default: the primary topic); the proof's external
+        nullifier is bound to that topic's domain, so each topic has an
+        independent one-message-per-epoch budget. Honest peers enforce
+        their own limit and get :class:`RateLimitError` when exceeding
+        it; adversarial simulations pass ``bypass_rate_limit=True`` to
+        emit the double-signals the network is supposed to catch.
         """
         if not self.is_registered:
             raise RegistrationError(
                 f"{self.node_id} is not (yet) a registered group member"
             )
+        topic = pubsub_topic or self.relay.pubsub_topic
+        if topic not in self.rln_topics:
+            raise RegistrationError(
+                f"{self.node_id} has not joined RLN topic {topic!r}"
+            )
         epoch = self.epoch_tracker.current_epoch
-        if not bypass_rate_limit and self._last_published_epoch == epoch:
+        if (
+            not bypass_rate_limit
+            and self._last_published_epochs.get(topic) == epoch
+        ):
             raise RateLimitError(epoch)
         signal = self.prover.create_signal(
             message=payload,
             epoch=epoch,
             merkle_proof=self.group.merkle_proof(self.leaf_index),
-            domain=self.config.domain,
+            domain=self._topic_domain(topic),
         )
-        self._last_published_epoch = epoch
+        self._last_published_epochs[topic] = epoch
         message = WakuMessage(
             payload=payload,
             content_topic=content_topic,
@@ -315,27 +388,37 @@ class WakuRlnRelayPeer:
             )
             self.network.simulator.schedule(
                 delay,
-                lambda _sim: self.relay.publish(message),
+                lambda _sim: self.relay.publish(message, topic=topic),
                 label=f"publish:{self.node_id}",
             )
             from ..gossipsub.rpc import compute_message_id
 
-            return compute_message_id(
-                self.relay.pubsub_topic, message.to_bytes()
-            )
-        return self.relay.publish(message)
+            return compute_message_id(topic, message.to_bytes())
+        return self.relay.publish(message, topic=topic)
 
     # -- receiving --------------------------------------------------------------------
 
     def on_payload(self, handler: PayloadHandler) -> None:
         self.payload_handlers.append(handler)
 
-    def _handle_waku_message(self, message: WakuMessage, msg_id: str) -> None:
+    def on_topic_payload(self, handler: TopicPayloadHandler) -> None:
+        """Like :meth:`on_payload`, with the pubsub topic as first
+        argument (multi-topic workloads account deliveries per topic)."""
+        self.topic_payload_handlers.append(handler)
+
+    def _handle_waku_message(
+        self, topic: str, message: WakuMessage, msg_id: str
+    ) -> None:
         for handler in self.payload_handlers:
             handler(message.payload, msg_id)
+        for topic_handler in self.topic_payload_handlers:
+            topic_handler(topic, message.payload, msg_id)
 
-    def _validate_waku_message(self, message: WakuMessage) -> ValidationResult:
-        report = self.validator.validate_bytes(message.rate_limit_proof)
+    def _validate_waku_message(
+        self, message: WakuMessage, pubsub_topic: str
+    ) -> ValidationResult:
+        validator = self.rln_topics[pubsub_topic]
+        report = validator.validate_bytes(message.rate_limit_proof)
         return _OUTCOME_TO_GOSSIP[report.outcome]
 
     # -- slashing ---------------------------------------------------------------------
@@ -347,12 +430,15 @@ class WakuRlnRelayPeer:
         not police itself, and letting attacker wallets collect the
         reporter bounty for slashing fellow agents would refill the
         very budgets the economics are supposed to drain. Validation
-        itself is unaffected — the peer still drops spam.
+        itself is unaffected — the peer still drops spam. Applies to
+        every joined RLN topic, current and future.
         """
-        try:
-            self.validator.spam_callbacks.remove(self._submit_slash)
-        except ValueError:
-            pass  # already disabled
+        self._slash_reporting = False
+        for validator in self.rln_topics.values():
+            try:
+                validator.spam_callbacks.remove(self._submit_slash)
+            except ValueError:
+                pass  # already disabled
 
     def _submit_slash(self, evidence: SlashingEvidence) -> None:
         """Claim the slashing reward for a detected double-signal.

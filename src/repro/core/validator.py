@@ -82,19 +82,21 @@ class RlnMessageValidator:
             return ValidationReport(ValidationOutcome.REJECT_MALFORMED)
         cache = self.verifier.cache
         entry: Optional[SignalEntry] = None
+        key = None
         if cache is not None:
-            entry = cache.get(raw_signal)
+            key = self.verifier.wire_cache_key(raw_signal)
+            entry = cache.get(key)
         if entry is None:
             try:
                 signal = RlnSignal.from_bytes(raw_signal)
             except SerializationError:
                 if cache is not None:
-                    cache.put(raw_signal, SignalEntry(signal=None))
+                    cache.put(key, SignalEntry(signal=None))
                 self.metrics.increment("validator.malformed")
                 return ValidationReport(ValidationOutcome.REJECT_MALFORMED)
             entry = SignalEntry(signal)
             if cache is not None:
-                cache.put(raw_signal, entry)
+                cache.put(key, entry)
         elif entry.signal is None:
             self.metrics.increment("validator.malformed")
             return ValidationReport(ValidationOutcome.REJECT_MALFORMED)

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .rpc import GossipMessage
 
@@ -14,6 +15,13 @@ class MessageCache:
     Holds the last ``history_length`` heartbeat windows of messages; the
     most recent ``gossip_length`` windows are advertised in IHAVE. The
     router calls :meth:`shift` once per heartbeat.
+
+    Windows are indexed **per topic**, so :meth:`gossip_ids` touches
+    only the queried topic's IDs (in insertion order) and an idle topic
+    costs a dict miss — on a multiplexed mesh the heartbeat's gossip
+    emission is O(own traffic), not O(all traffic x topics).
+    :meth:`shift` is amortised O(1) per cached message: each ID is
+    appended once and dropped once.
     """
 
     def __init__(self, history_length: int = 5, gossip_length: int = 3) -> None:
@@ -22,13 +30,15 @@ class MessageCache:
         self.history_length = history_length
         self.gossip_length = gossip_length
         self._messages: Dict[str, GossipMessage] = {}
-        self._windows: deque[List[str]] = deque([[]])
+        #: Newest window first; each window maps topic -> message IDs
+        #: in insertion order.
+        self._windows: deque[Dict[str, List[str]]] = deque([{}])
 
     def put(self, message: GossipMessage) -> None:
         if message.msg_id in self._messages:
             return
         self._messages[message.msg_id] = message
-        self._windows[0].append(message.msg_id)
+        self._windows[0].setdefault(message.topic, []).append(message.msg_id)
 
     def get(self, msg_id: str) -> Optional[GossipMessage]:
         return self._messages.get(msg_id)
@@ -36,20 +46,20 @@ class MessageCache:
     def gossip_ids(self, topic: str) -> List[str]:
         """Message IDs for ``topic`` within the gossip window."""
         out: List[str] = []
-        for window in list(self._windows)[: self.gossip_length]:
-            for msg_id in window:
-                message = self._messages.get(msg_id)
-                if message is not None and message.topic == topic:
-                    out.append(msg_id)
+        for i in range(min(self.gossip_length, len(self._windows))):
+            ids = self._windows[i].get(topic)
+            if ids:
+                out.extend(ids)
         return out
 
     def shift(self) -> None:
         """Advance one heartbeat; drop messages older than the history."""
-        self._windows.appendleft([])
+        self._windows.appendleft({})
         while len(self._windows) > self.history_length:
             expired = self._windows.pop()
-            for msg_id in expired:
-                self._messages.pop(msg_id, None)
+            for ids in expired.values():
+                for msg_id in ids:
+                    self._messages.pop(msg_id, None)
 
     def __len__(self) -> int:
         return len(self._messages)
@@ -59,29 +69,39 @@ class SeenCache:
     """Time-based duplicate suppression.
 
     Gossip floods produce many duplicate deliveries; each message ID is
-    remembered for ``ttl`` simulated seconds.
+    remembered for ``ttl`` simulated seconds (re-witnessing extends the
+    window). Expiry is amortised: every :meth:`witness` pops the few
+    entries whose time has come off a min-heap, so the cache never does
+    an O(n) sweep and its memory tracks the live working set.
     """
 
     def __init__(self, ttl: float = 120.0) -> None:
         self.ttl = ttl
-        self._expiry: "Dict[str, float]" = {}
+        self._expiry: Dict[str, float] = {}
+        #: (expiry, msg_id) min-heap; stale entries (the ID was since
+        #: re-witnessed or already dropped) are skipped on pop.
+        self._heap: List[Tuple[float, str]] = []
 
     def witness(self, msg_id: str, now: float) -> bool:
         """Record ``msg_id``; returns True when it was seen already."""
         self._sweep(now)
         seen = msg_id in self._expiry
-        self._expiry[msg_id] = now + self.ttl
+        expiry = now + self.ttl
+        self._expiry[msg_id] = expiry
+        heapq.heappush(self._heap, (expiry, msg_id))
         return seen
 
     def __contains__(self, msg_id: str) -> bool:
         return msg_id in self._expiry
 
     def _sweep(self, now: float) -> None:
-        if len(self._expiry) < 4096:
-            return
-        expired = [m for m, t in self._expiry.items() if t <= now]
-        for msg_id in expired:
-            del self._expiry[msg_id]
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            expiry, msg_id = heapq.heappop(heap)
+            # Drop only if this heap entry still owns the ID (a newer
+            # witness pushes a fresher entry and extends the expiry).
+            if self._expiry.get(msg_id) == expiry:
+                del self._expiry[msg_id]
 
     def __len__(self) -> int:
         return len(self._expiry)

@@ -10,12 +10,35 @@ grafting.
 One router instance is one network node; it talks to neighbours through
 :class:`repro.net.network.Network` and drives its heartbeat off the
 shared discrete-event simulator.
+
+Heartbeat ownership and cost
+----------------------------
+
+The heartbeat owns all periodic state: mesh membership repair, score
+decay ticks, fanout expiry, IHAVE emission, the mcache window shift and
+backoff expiry. Everything else (mesh joins/leaves, score events) is
+edge-triggered by RPC handling.
+
+With ``GossipSubParams.batched_bookkeeping`` (the default) the
+heartbeat does O(changed) work: score decay is a global-clock tick
+(counters materialise lazily on access), mesh maintenance only visits
+topics marked *dirty* by an actual change (a GRAFT/PRUNE, a link-down
+notification from the network, a mesh out of its degree bounds, or a
+mesh member entering the score tracker's suspect set), and backoffs
+expire through a heap instead of an unbounded dict. Every
+``full_sweep_interval`` heartbeats a self-healing full pass over all
+subscribed topics runs, which is also when opportunistic grafting
+happens. With ``batched_bookkeeping=False`` the router performs the
+reference per-heartbeat sweep over every (topic, peer) pair; protocol
+outcomes are bit-identical in both modes — the batched path only skips
+work it can prove is a no-op.
 """
 
 from __future__ import annotations
 
+import heapq
 from enum import Enum
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..errors import GossipError
 from ..net.network import Network, NodeId
@@ -42,7 +65,19 @@ DeliveryCallback = Callable[[str, Any, str, NodeId], None]
 
 
 class GossipSubRouter:
-    """A gossipsub v1.1 node."""
+    """A gossipsub v1.1 node.
+
+    Public state an embedder may read (but should mutate only through
+    the subscribe/publish API):
+
+    * ``subscriptions`` — topics this node is subscribed to;
+    * ``mesh`` — topic -> full-message mesh members (subset of current
+      neighbours; repaired by the heartbeat);
+    * ``fanout`` — topic -> publish targets for topics we publish to
+      without subscribing; expires ``fanout_ttl`` seconds after the
+      last publish;
+    * ``topic_peers`` — topic -> peers known (from RPC) to subscribe.
+    """
 
     def __init__(
         self,
@@ -60,7 +95,10 @@ class GossipSubRouter:
         #: applied to each inbound RPC that carries message publications.
         self.processing_delay = processing_delay
         self.metrics = metrics if metrics is not None else network.metrics
-        self.scores = PeerScoreTracker(score_params or PeerScoreParams())
+        self.scores = PeerScoreTracker(
+            score_params or PeerScoreParams(),
+            lazy=self.params.batched_bookkeeping,
+        )
 
         self.subscriptions: Set[str] = set()
         self.mesh: Dict[str, Set[NodeId]] = {}
@@ -68,7 +106,13 @@ class GossipSubRouter:
         self._fanout_expiry: Dict[str, float] = {}
         #: topic -> peers we know are subscribed (learned from RPC).
         self.topic_peers: Dict[str, Set[NodeId]] = {}
-        self._backoff: Dict[tuple, float] = {}  # (peer, topic) -> expiry
+        #: (peer, topic) -> expiry; a GRAFT before expiry is a protocol
+        #: violation (P7). Entries expire lazily through ``_backoff_heap``.
+        self._backoff: Dict[Tuple[NodeId, str], float] = {}
+        self._backoff_heap: List[Tuple[float, NodeId, str]] = []
+        #: Topics whose mesh needs maintenance on the next heartbeat.
+        self._dirty_topics: Set[str] = set()
+        self._heartbeat_count = 0
 
         self.mcache = MessageCache(self.params.mcache_len, self.params.mcache_gossip)
         self.seen = SeenCache(self.params.seen_ttl)
@@ -101,16 +145,30 @@ class GossipSubRouter:
         return self.network.simulator.now
 
     def peers(self) -> List[NodeId]:
-        """Current direct neighbours."""
+        """Current direct neighbours (sorted)."""
         return self.network.neighbors(self.node_id)
+
+    def on_link_down(self, peer: NodeId) -> None:
+        """Network hook: a link of ours disappeared (churn).
+
+        Eviction itself still happens on the next heartbeat — exactly
+        when the reference sweep would notice — this only marks the
+        affected topics dirty so the batched path looks at them.
+        """
+        for topic, mesh in self.mesh.items():
+            if peer in mesh:
+                self._dirty_topics.add(topic)
 
     # -- subscriptions ------------------------------------------------------------
 
     def subscribe(self, topic: str) -> None:
+        """Join ``topic``: announce to neighbours and start building a
+        mesh (fanout peers for the topic are adopted immediately)."""
         if topic in self.subscriptions:
             return
         self.subscriptions.add(topic)
         self.mesh.setdefault(topic, set())
+        self._dirty_topics.add(topic)
         # Adopt fanout peers if we were publishing to this topic already.
         for peer in self.fanout.pop(topic, set()):
             self._graft_peer(peer, topic)
@@ -118,12 +176,15 @@ class GossipSubRouter:
         self._broadcast_control(RpcPacket(subscribe=[topic]))
 
     def unsubscribe(self, topic: str) -> None:
+        """Leave ``topic``: PRUNE every mesh member (with backoff and
+        Peer Exchange) and announce the unsubscription."""
         if topic not in self.subscriptions:
             return
         self.subscriptions.discard(topic)
         for peer in list(self.mesh.get(topic, ())):
             self._prune_peer(peer, topic)
         self.mesh.pop(topic, None)
+        self._dirty_topics.discard(topic)
         self._broadcast_control(RpcPacket(unsubscribe=[topic]))
 
     def announce_to(self, peer: NodeId) -> None:
@@ -132,6 +193,8 @@ class GossipSubRouter:
             self._send(peer, RpcPacket(subscribe=sorted(self.subscriptions)))
 
     def add_validator(self, topic: str, validator: Validator) -> None:
+        """Install the validator consulted for every message on
+        ``topic`` (one per topic; later calls replace)."""
         self.validators[topic] = validator
 
     def on_delivery(self, callback: DeliveryCallback) -> None:
@@ -140,7 +203,12 @@ class GossipSubRouter:
     # -- publishing -------------------------------------------------------------------
 
     def publish(self, topic: str, payload: Any) -> str:
-        """Publish a payload; returns the message ID."""
+        """Publish a payload; returns the message ID.
+
+        Targets are the mesh (when subscribed), the fanout (when not),
+        or — with ``flood_publish`` — every known topic peer above the
+        publish threshold.
+        """
         msg_id = compute_message_id(topic, payload)
         message = GossipMessage(msg_id=msg_id, topic=topic, payload=payload)
         self.seen.witness(msg_id, self.now)
@@ -167,6 +235,9 @@ class GossipSubRouter:
         return msg_id
 
     def _fanout_targets(self, topic: str) -> Set[NodeId]:
+        """Fanout peers for an unsubscribed topic, building the set on
+        first use; every publish pushes the expiry ``fanout_ttl`` out,
+        so a steady publisher reuses one fanout set indefinitely."""
         peers = self.fanout.get(topic)
         if not peers:
             candidates = self._gossip_eligible_peers(topic)
@@ -202,7 +273,10 @@ class GossipSubRouter:
             self.topic_peers.setdefault(topic, set()).add(from_peer)
         for topic in packet.unsubscribe:
             self.topic_peers.get(topic, set()).discard(from_peer)
-            self.mesh.get(topic, set()).discard(from_peer)
+            mesh = self.mesh.get(topic)
+            if mesh is not None and from_peer in mesh:
+                mesh.discard(from_peer)
+                self._dirty_topics.add(topic)
         for message in packet.publish:
             self._handle_publish(message, from_peer)
         if packet.ihave:
@@ -311,6 +385,7 @@ class GossipSubRouter:
             )
             return
         self.mesh.setdefault(topic, set()).add(from_peer)
+        self._dirty_topics.add(topic)
         self.scores.graft(from_peer, topic, self.now)
         self.topic_peers.setdefault(topic, set()).add(from_peer)
 
@@ -321,10 +396,13 @@ class GossipSubRouter:
         backoff: float,
         px: Optional[List[NodeId]] = None,
     ) -> None:
-        self.mesh.get(topic, set()).discard(from_peer)
+        mesh = self.mesh.get(topic)
+        if mesh is not None and from_peer in mesh:
+            mesh.discard(from_peer)
+            self._dirty_topics.add(topic)
         self.scores.prune(from_peer, topic, self.now)
-        self._backoff[(from_peer, topic)] = self.now + max(
-            backoff, self.params.prune_backoff
+        self._set_backoff(
+            from_peer, topic, max(backoff, self.params.prune_backoff)
         )
         # Peer Exchange: accept suggestions only from well-scored peers
         # (a graylist-adjacent peer could otherwise steer our mesh).
@@ -350,15 +428,40 @@ class GossipSubRouter:
     def _in_backoff(self, peer: NodeId, topic: str) -> bool:
         return self._backoff.get((peer, topic), 0.0) > self.now
 
+    def _set_backoff(self, peer: NodeId, topic: str, duration: float) -> None:
+        expiry = self.now + duration
+        self._backoff[(peer, topic)] = expiry
+        heapq.heappush(self._backoff_heap, (expiry, peer, topic))
+
+    def _expire_backoffs(self) -> None:
+        """Drop expired backoff entries (amortised via the heap).
+
+        Purely memory management: :meth:`_in_backoff` compares
+        timestamps, so whether an expired entry is still stored never
+        changes behaviour — without this the dict grows with every
+        PRUNE ever received.
+        """
+        heap = self._backoff_heap
+        while heap and heap[0][0] <= self.now:
+            expiry, peer, topic = heapq.heappop(heap)
+            # Only delete if this heap entry is the live one (the
+            # backoff may have been extended by a later PRUNE).
+            if self._backoff.get((peer, topic)) == expiry:
+                del self._backoff[(peer, topic)]
+
     def _graft_peer(self, peer: NodeId, topic: str) -> None:
         self.mesh.setdefault(topic, set()).add(peer)
+        self._dirty_topics.add(topic)
         self.scores.graft(peer, topic, self.now)
         self._send(peer, RpcPacket(graft=[topic]))
 
     def _prune_peer(self, peer: NodeId, topic: str) -> None:
-        self.mesh.get(topic, set()).discard(peer)
+        mesh = self.mesh.get(topic)
+        if mesh is not None and peer in mesh:
+            mesh.discard(peer)
+            self._dirty_topics.add(topic)
         self.scores.prune(peer, topic, self.now)
-        self._backoff[(peer, topic)] = self.now + self.params.prune_backoff
+        self._set_backoff(peer, topic, self.params.prune_backoff)
         # Offer Peer Exchange: well-scored alternatives from our mesh,
         # so the pruned peer can heal its degree elsewhere.
         suggestions = [
@@ -373,7 +476,7 @@ class GossipSubRouter:
 
     def _gossip_eligible_peers(self, topic: str) -> List[NodeId]:
         """Known topic peers that are direct neighbours, best score first."""
-        neighbors = set(self.peers())
+        neighbors = self.network.neighbor_set(self.node_id)
         candidates = [
             peer
             for peer in self.topic_peers.get(topic, set())
@@ -387,61 +490,116 @@ class GossipSubRouter:
         return candidates
 
     def heartbeat(self) -> None:
-        """Periodic maintenance: mesh balancing, gossip, cache shift."""
+        """Periodic maintenance: mesh balancing, gossip, cache shift.
+
+        Every ``full_sweep_interval``-th heartbeat (including the very
+        first) is a *sweep* heartbeat: all subscribed topics are
+        maintained and opportunistic grafting runs. In between, batched
+        mode maintains only topics that need it; the reference mode
+        maintains all of them every time. Both modes run the same code
+        per maintained topic, in sorted topic order, so the RNG stream
+        — and therefore every downstream outcome — is identical.
+        """
         self.scores.decay()
-        self._maintain_meshes()
+        sweep_interval = max(1, self.params.full_sweep_interval)
+        sweep = self._heartbeat_count % sweep_interval == 0
+        self._heartbeat_count += 1
+        if sweep or not self.params.batched_bookkeeping:
+            topics = sorted(self.subscriptions)
+        else:
+            topics = self._topics_needing_maintenance()
+        for topic in topics:
+            self._maintain_topic(topic)
+        if sweep:
+            for topic in sorted(self.subscriptions):
+                self._opportunistic_graft(topic, self.mesh.get(topic, set()))
         self._expire_fanout()
         self._emit_gossip()
         self.mcache.shift()
+        self._expire_backoffs()
         self.metrics.increment("gossipsub.heartbeats")
 
-    def _maintain_meshes(self) -> None:
-        rng = self.network.simulator.rng
-        neighbors = set(self.peers())
+    def _topics_needing_maintenance(self) -> List[str]:
+        """Subscribed topics the batched path must visit this heartbeat:
+        explicitly dirtied ones, plus any whose mesh intersects the
+        score tracker's suspect set (a member *might* have gone
+        negative without touching this topic's mesh)."""
+        suspects = self.scores.suspects()
+        needy = set()
         for topic in self.subscriptions:
-            mesh = self.mesh.setdefault(topic, set())
-            # Evict mesh members whose connection is gone (churn); they
-            # re-enter through GRAFT after the backoff, and meanwhile
-            # the IHAVE/IWANT gossip path covers them.
-            for peer in [p for p in mesh if p not in neighbors]:
-                mesh.discard(peer)
-                self.scores.prune(peer, topic, self.now)
-                self._backoff[(peer, topic)] = (
-                    self.now + self.params.prune_backoff
-                )
-            # Drop negatively scored mesh members outright.
-            for peer in [
+            if topic in self._dirty_topics:
+                needy.add(topic)
+            elif suspects:
+                mesh = self.mesh.get(topic)
+                if mesh and not suspects.isdisjoint(mesh):
+                    needy.add(topic)
+        return sorted(needy)
+
+    def _maintain_topic(self, topic: str) -> None:
+        """One topic's mesh repair (identical in both bookkeeping modes;
+        the modes only differ in *which* topics get here)."""
+        rng = self.network.simulator.rng
+        mesh = self.mesh.setdefault(topic, set())
+        self._dirty_topics.discard(topic)
+        neighbors = self.network.neighbor_set(self.node_id)
+        # Evict mesh members whose connection is gone (churn); they
+        # re-enter through GRAFT after the backoff, and meanwhile
+        # the IHAVE/IWANT gossip path covers them.
+        for peer in [p for p in mesh if p not in neighbors]:
+            mesh.discard(peer)
+            self.scores.prune(peer, topic, self.now)
+            self._set_backoff(peer, topic, self.params.prune_backoff)
+        # Drop negatively scored mesh members outright. Batched mode
+        # pre-filters through the suspect set — a non-suspect provably
+        # scores >= 0, so skipping its score() changes nothing.
+        if self.params.batched_bookkeeping:
+            negative = [
+                p
+                for p in mesh
+                if self.scores.maybe_negative(p)
+                and self.scores.score(p, self.now) < 0
+            ]
+        else:
+            negative = [
                 p for p in mesh if self.scores.score(p, self.now) < 0
-            ]:
+            ]
+        for peer in negative:
+            self._prune_peer(peer, topic)
+        if len(mesh) < self.params.d_lo:
+            candidates = [
+                peer
+                for peer in self._gossip_eligible_peers(topic)
+                if peer not in mesh
+                and not self._in_backoff(peer, topic)
+                and self.scores.score(peer, self.now) >= 0
+            ]
+            rng.shuffle(candidates)
+            for peer in candidates[: self.params.d - len(mesh)]:
+                self._graft_peer(peer, topic)
+        elif len(mesh) > self.params.d_hi:
+            # Keep the best d_score peers, prune random others to d.
+            ranked = sorted(
+                mesh,
+                key=lambda p: self.scores.score(p, self.now),
+                reverse=True,
+            )
+            keep = set(ranked[: self.params.d_score])
+            removable = [p for p in ranked[self.params.d_score :]]
+            rng.shuffle(removable)
+            while len(keep) < self.params.d and removable:
+                keep.add(removable.pop())
+            for peer in list(mesh - keep):
                 self._prune_peer(peer, topic)
-            if len(mesh) < self.params.d_lo:
-                candidates = [
-                    peer
-                    for peer in self._gossip_eligible_peers(topic)
-                    if peer not in mesh
-                    and not self._in_backoff(peer, topic)
-                    and self.scores.score(peer, self.now) >= 0
-                ]
-                rng.shuffle(candidates)
-                for peer in candidates[: self.params.d - len(mesh)]:
-                    self._graft_peer(peer, topic)
-            elif len(mesh) > self.params.d_hi:
-                # Keep the best d_score peers, prune random others to d.
-                ranked = sorted(
-                    mesh,
-                    key=lambda p: self.scores.score(p, self.now),
-                    reverse=True,
-                )
-                keep = set(ranked[: self.params.d_score])
-                removable = [p for p in ranked[self.params.d_score :]]
-                rng.shuffle(removable)
-                while len(keep) < self.params.d and removable:
-                    keep.add(removable.pop())
-                for peer in list(mesh - keep):
-                    self._prune_peer(peer, topic)
-            self._opportunistic_graft(topic, mesh)
+        # A mesh still out of bounds (no eligible candidates yet) must
+        # be revisited next heartbeat, exactly like the reference sweep
+        # would.
+        if not self.params.d_lo <= len(mesh) <= self.params.d_hi:
+            self._dirty_topics.add(topic)
 
     def _opportunistic_graft(self, topic: str, mesh: Set[NodeId]) -> None:
+        """Graft above-median candidates when the mesh's median score
+        sags below ``opportunistic_graft_threshold`` (runs on sweep
+        heartbeats only; consumes no RNG)."""
         if not mesh:
             return
         scores = sorted(self.scores.score(p, self.now) for p in mesh)
@@ -466,8 +624,10 @@ class GossipSubRouter:
             self._fanout_expiry.pop(topic, None)
 
     def _emit_gossip(self) -> None:
+        """Advertise recent message IDs (IHAVE) to ``d_lazy`` non-mesh
+        peers per topic with gossip-window traffic."""
         rng = self.network.simulator.rng
-        for topic in set(self.subscriptions) | set(self.fanout):
+        for topic in sorted(set(self.subscriptions) | set(self.fanout)):
             msg_ids = self.mcache.gossip_ids(topic)
             if not msg_ids:
                 continue

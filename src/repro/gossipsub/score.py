@@ -12,12 +12,34 @@ with the usual components: time in mesh (P1), first-message deliveries
 messages (P4), application-specific score (P5), IP colocation (P6) and
 behavioural penalty (P7). Counters decay multiplicatively on every
 decay tick, as in the reference implementation.
+
+Decay bookkeeping
+-----------------
+
+Two execution modes produce **bit-identical scores**:
+
+* *lazy* (the default): :meth:`PeerScoreTracker.decay` only advances a
+  global tick counter; a peer's counters are materialised on first
+  access by replaying the missed ticks (repeated multiplication with
+  the same zero-floor check the sweep applies, so the floating-point
+  trajectory is exactly the sweep's). Heartbeat cost becomes O(1)
+  instead of O(peers x topics).
+* *eager* (``lazy=False``): every ``decay()`` call sweeps all counters
+  immediately — the reference behaviour the equivalence tests compare
+  against.
+
+The tracker also maintains a conservative *suspect set*: peers whose
+score **could** be negative (they carry a penalty counter, a negative
+app score, a colocated IP, or sit in the mesh of a topic whose
+delivery-deficit penalty is armed). A peer absent from the set provably
+scores >= 0, which lets the router skip the per-topic negative-score
+sweep for meshes containing no suspects.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 from ..net.network import NodeId
 
@@ -31,6 +53,10 @@ class TopicScoreParams:
     with a known steady message rate; enabling them on an idle topic
     dissolves healthy meshes. :func:`strict_topic_params` builds a
     configuration with them enabled for high-traffic experiments.
+
+    Units: ``time_in_mesh_quantum`` and ``time_in_mesh_cap`` are in
+    simulated seconds; delivery counters are message counts; decay
+    factors are per decay tick (one router heartbeat).
     """
 
     topic_weight: float = 1.0
@@ -55,6 +81,13 @@ class TopicScoreParams:
     invalid_message_deliveries_weight: float = -10.0
     invalid_message_deliveries_decay: float = 0.9
 
+    @property
+    def strict(self) -> bool:
+        """True when the in-mesh delivery-deficit penalty (P3) is armed:
+        a silent mesh member can then go negative with no score *event*,
+        so such topics are exempt from suspect-set fast paths."""
+        return self.mesh_message_deliveries_weight < 0
+
 
 def strict_topic_params(
     expected_rate_per_decay: float = 1.0,
@@ -73,7 +106,14 @@ def strict_topic_params(
 
 @dataclass(frozen=True)
 class PeerScoreParams:
-    """Router-wide scoring parameters and thresholds."""
+    """Router-wide scoring parameters and thresholds.
+
+    Thresholds are compared against the *total* peer score:
+    ``gossip_threshold`` gates IHAVE/IWANT exchange,
+    ``publish_threshold`` gates flood-publish targets, and
+    ``graylist_threshold`` drops entire RPCs. All are <= 0; a peer with
+    no history scores exactly 0.
+    """
 
     topic_params: Dict[str, TopicScoreParams] = field(default_factory=dict)
     default_topic_params: TopicScoreParams = field(
@@ -102,8 +142,31 @@ class PeerScoreParams:
         return self.topic_params.get(topic, self.default_topic_params)
 
 
+def _decay_steps(
+    value: float, factor: float, steps: int, floor: float
+) -> float:
+    """Replay ``steps`` decay ticks on ``value``.
+
+    Repeated multiplication (not ``factor ** steps``) so the result is
+    bit-identical to the eager per-tick sweep, including the
+    zero-floor cut at the exact tick the sweep would apply it.
+    """
+    if value == 0.0 or steps <= 0:
+        return value
+    if factor == 1.0:
+        return 0.0 if value < floor else value
+    for _ in range(steps):
+        value *= factor
+        if value < floor:
+            return 0.0
+    return value
+
+
 @dataclass
 class _TopicStats:
+    """Per-(peer, topic) counters. ``tick`` is the decay tick the
+    decaying counters were last materialised at."""
+
     in_mesh: bool = False
     graft_time: float = 0.0
     mesh_time: float = 0.0
@@ -111,67 +174,172 @@ class _TopicStats:
     mesh_message_deliveries: float = 0.0
     mesh_failure_penalty: float = 0.0
     invalid_message_deliveries: float = 0.0
+    tick: int = 0
+
+    @property
+    def has_penalty(self) -> bool:
+        return (
+            self.mesh_failure_penalty > 0.0
+            or self.invalid_message_deliveries > 0.0
+        )
 
 
 @dataclass
 class _PeerStats:
     topics: Dict[str, _TopicStats] = field(default_factory=dict)
     behaviour_penalty: float = 0.0
+    behaviour_tick: int = 0
     app_score: float = 0.0
     ip: Optional[str] = None
 
-    def topic(self, name: str) -> _TopicStats:
-        if name not in self.topics:
-            self.topics[name] = _TopicStats()
-        return self.topics[name]
-
 
 class PeerScoreTracker:
-    """Maintains live score state for every known peer."""
+    """Maintains live score state for every known peer.
 
-    def __init__(self, params: PeerScoreParams) -> None:
+    ``lazy=True`` (default) uses the global-clock decay described in the
+    module docstring; ``lazy=False`` reproduces the reference eager
+    sweep. Scores are identical either way.
+    """
+
+    def __init__(self, params: PeerScoreParams, lazy: bool = True) -> None:
         self.params = params
+        self.lazy = lazy
         self._peers: Dict[NodeId, _PeerStats] = {}
+        #: Global decay clock; one tick per :meth:`decay` call.
+        self._tick = 0
+        #: ip -> peers sharing it (P6 is O(1) per score with this index).
+        self._ip_peers: Dict[str, Set[NodeId]] = {}
+        #: Conservative superset of peers whose score may be negative.
+        self._suspects: Set[NodeId] = set()
 
     # -- peer lifecycle -------------------------------------------------------
 
     def add_peer(self, peer: NodeId, ip: Optional[str] = None) -> None:
-        stats = self._peers.setdefault(peer, _PeerStats())
+        stats = self._stats(peer)
         if ip is not None:
-            stats.ip = ip
+            self._assign_ip(peer, stats, ip)
 
     def remove_peer(self, peer: NodeId) -> None:
-        self._peers.pop(peer, None)
+        stats = self._peers.pop(peer, None)
+        if stats is not None and stats.ip is not None:
+            group = self._ip_peers.get(stats.ip)
+            if group is not None:
+                group.discard(peer)
+                if not group:
+                    del self._ip_peers[stats.ip]
+        self._suspects.discard(peer)
 
     def known_peers(self):
         return list(self._peers)
 
     def _stats(self, peer: NodeId) -> _PeerStats:
-        return self._peers.setdefault(peer, _PeerStats())
+        stats = self._peers.get(peer)
+        if stats is None:
+            stats = self._peers[peer] = _PeerStats(
+                behaviour_tick=self._tick
+            )
+        return stats
+
+    def _topic_stats(self, peer: NodeId, topic: str) -> _TopicStats:
+        """Materialised per-topic stats (decay replayed up to now)."""
+        stats = self._stats(peer)
+        tstats = stats.topics.get(topic)
+        if tstats is None:
+            tstats = stats.topics[topic] = _TopicStats(tick=self._tick)
+            return tstats
+        self._materialize_topic(tstats, self.params.for_topic(topic))
+        return tstats
+
+    # -- decay ------------------------------------------------------------------------
+
+    def _materialize_topic(
+        self, tstats: _TopicStats, params: TopicScoreParams
+    ) -> None:
+        steps = self._tick - tstats.tick
+        if steps <= 0:
+            return
+        floor = self.params.decay_to_zero
+        tstats.first_message_deliveries = _decay_steps(
+            tstats.first_message_deliveries,
+            params.first_message_deliveries_decay,
+            steps,
+            floor,
+        )
+        tstats.mesh_message_deliveries = _decay_steps(
+            tstats.mesh_message_deliveries,
+            params.mesh_message_deliveries_decay,
+            steps,
+            floor,
+        )
+        tstats.mesh_failure_penalty = _decay_steps(
+            tstats.mesh_failure_penalty,
+            params.mesh_failure_penalty_decay,
+            steps,
+            floor,
+        )
+        tstats.invalid_message_deliveries = _decay_steps(
+            tstats.invalid_message_deliveries,
+            params.invalid_message_deliveries_decay,
+            steps,
+            floor,
+        )
+        tstats.tick = self._tick
+
+    def _materialize_behaviour(self, stats: _PeerStats) -> None:
+        steps = self._tick - stats.behaviour_tick
+        if steps > 0:
+            stats.behaviour_penalty = _decay_steps(
+                stats.behaviour_penalty,
+                self.params.behaviour_penalty_decay,
+                steps,
+                self.params.decay_to_zero,
+            )
+            stats.behaviour_tick = self._tick
+
+    def decay(self) -> None:
+        """Advance the decay clock by one tick.
+
+        Lazy mode stops here (O(1)); eager mode immediately sweeps
+        every counter of every peer, exactly like the reference
+        implementation.
+        """
+        self._tick += 1
+        if self.lazy:
+            return
+        for stats in self._peers.values():
+            for topic, tstats in stats.topics.items():
+                self._materialize_topic(tstats, self.params.for_topic(topic))
+            self._materialize_behaviour(stats)
 
     # -- mesh events --------------------------------------------------------------
 
     def graft(self, peer: NodeId, topic: str, now: float) -> None:
-        stats = self._stats(peer).topic(topic)
+        stats = self._topic_stats(peer, topic)
         stats.in_mesh = True
         stats.graft_time = now
+        if self.params.for_topic(topic).strict:
+            # A silent mesh member on a strict topic can go negative
+            # with no further events; keep it under suspicion while
+            # (and after) it sits in this mesh.
+            self._suspects.add(peer)
 
     def prune(self, peer: NodeId, topic: str, now: float) -> None:
         """Peer leaves the mesh; a delivery deficit becomes P3b."""
         params = self.params.for_topic(topic)
-        stats = self._stats(peer).topic(topic)
+        stats = self._topic_stats(peer, topic)
         if stats.in_mesh:
             stats.mesh_time = now - stats.graft_time
             deficit = self._delivery_deficit(stats, params)
             if deficit > 0:
                 stats.mesh_failure_penalty += deficit * deficit
+                self._suspects.add(peer)
         stats.in_mesh = False
 
     # -- delivery events ------------------------------------------------------------
 
     def first_message(self, peer: NodeId, topic: str) -> None:
         params = self.params.for_topic(topic)
-        stats = self._stats(peer).topic(topic)
+        stats = self._topic_stats(peer, topic)
         stats.first_message_deliveries = min(
             stats.first_message_deliveries + 1,
             params.first_message_deliveries_cap,
@@ -184,7 +352,7 @@ class PeerScoreTracker:
 
     def duplicate_message(self, peer: NodeId, topic: str) -> None:
         params = self.params.for_topic(topic)
-        stats = self._stats(peer).topic(topic)
+        stats = self._topic_stats(peer, topic)
         if stats.in_mesh:
             stats.mesh_message_deliveries = min(
                 stats.mesh_message_deliveries + 1,
@@ -192,47 +360,54 @@ class PeerScoreTracker:
             )
 
     def reject_message(self, peer: NodeId, topic: str) -> None:
-        stats = self._stats(peer).topic(topic)
+        stats = self._topic_stats(peer, topic)
         stats.invalid_message_deliveries += 1
+        self._suspects.add(peer)
 
     def behaviour_penalty(self, peer: NodeId, amount: float = 1.0) -> None:
-        self._stats(peer).behaviour_penalty += amount
+        stats = self._stats(peer)
+        self._materialize_behaviour(stats)
+        stats.behaviour_penalty += amount
+        self._suspects.add(peer)
 
     def set_app_score(self, peer: NodeId, score: float) -> None:
         self._stats(peer).app_score = score
+        if score < 0:
+            self._suspects.add(peer)
 
     def set_ip(self, peer: NodeId, ip: str) -> None:
-        self._stats(peer).ip = ip
+        self._assign_ip(peer, self._stats(peer), ip)
 
-    # -- decay ------------------------------------------------------------------------
+    def _assign_ip(self, peer: NodeId, stats: _PeerStats, ip: str) -> None:
+        if stats.ip == ip:
+            return
+        if stats.ip is not None:
+            old = self._ip_peers.get(stats.ip)
+            if old is not None:
+                old.discard(peer)
+                if not old:
+                    del self._ip_peers[stats.ip]
+        stats.ip = ip
+        group = self._ip_peers.setdefault(ip, set())
+        group.add(peer)
+        if len(group) > self.params.ip_colocation_factor_threshold:
+            self._suspects.update(group)
 
-    def decay(self) -> None:
-        """Apply one decay tick to every decaying counter."""
-        floor = self.params.decay_to_zero
-        for stats in self._peers.values():
-            for topic, tstats in stats.topics.items():
-                params = self.params.for_topic(topic)
-                tstats.first_message_deliveries *= (
-                    params.first_message_deliveries_decay
-                )
-                tstats.mesh_message_deliveries *= (
-                    params.mesh_message_deliveries_decay
-                )
-                tstats.mesh_failure_penalty *= params.mesh_failure_penalty_decay
-                tstats.invalid_message_deliveries *= (
-                    params.invalid_message_deliveries_decay
-                )
-                for attr in (
-                    "first_message_deliveries",
-                    "mesh_message_deliveries",
-                    "mesh_failure_penalty",
-                    "invalid_message_deliveries",
-                ):
-                    if getattr(tstats, attr) < floor:
-                        setattr(tstats, attr, 0.0)
-            stats.behaviour_penalty *= self.params.behaviour_penalty_decay
-            if stats.behaviour_penalty < floor:
-                stats.behaviour_penalty = 0.0
+    # -- suspects ---------------------------------------------------------------------
+
+    def maybe_negative(self, peer: NodeId) -> bool:
+        """Could this peer's score be below zero?
+
+        False is a guarantee (the peer carries no negative component);
+        True only means "compute the real score to find out". The set
+        self-cleans: :meth:`score` removes a peer once every negative
+        component has decayed away.
+        """
+        return peer in self._suspects
+
+    def suspects(self) -> Set[NodeId]:
+        """Live view of the suspect set (do not mutate)."""
+        return self._suspects
 
     # -- scoring -----------------------------------------------------------------------
 
@@ -256,8 +431,11 @@ class PeerScoreTracker:
         if stats is None:
             return 0.0
         total = 0.0
+        #: Does any negative-capable component remain live?
+        suspect = stats.app_score < 0
         for topic, tstats in stats.topics.items():
             params = self.params.for_topic(topic)
+            self._materialize_topic(tstats, params)
             topic_score = 0.0
             # P1
             if tstats.in_mesh:
@@ -278,6 +456,8 @@ class PeerScoreTracker:
                 topic_score += (
                     deficit * deficit * params.mesh_message_deliveries_weight
                 )
+                if params.strict:
+                    suspect = True
             # P3b
             topic_score += (
                 tstats.mesh_failure_penalty * params.mesh_failure_penalty_weight
@@ -286,19 +466,25 @@ class PeerScoreTracker:
             p4 = tstats.invalid_message_deliveries
             topic_score += p4 * p4 * params.invalid_message_deliveries_weight
             total += topic_score * params.topic_weight
+            if tstats.has_penalty:
+                suspect = True
         # P5
         total += stats.app_score * self.params.app_specific_weight
         # P6 — IP colocation
         if stats.ip is not None:
-            colocated = sum(
-                1 for other in self._peers.values() if other.ip == stats.ip
-            )
+            colocated = len(self._ip_peers.get(stats.ip, ()))
             excess = colocated - self.params.ip_colocation_factor_threshold
             if excess > 0:
                 total += excess * excess * self.params.ip_colocation_factor_weight
+                suspect = True
         # P7
+        self._materialize_behaviour(stats)
         p7 = stats.behaviour_penalty
         if p7 > self.params.behaviour_penalty_threshold:
             excess = p7 - self.params.behaviour_penalty_threshold
             total += excess * excess * self.params.behaviour_penalty_weight
+        if p7 > 0:
+            suspect = True
+        if not suspect:
+            self._suspects.discard(peer)
         return total

@@ -10,7 +10,7 @@ property.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Protocol, Set, Tuple
+from typing import Any, Dict, Iterable, List, Protocol, Set
 
 from ..errors import NetworkError
 from ..sim.latency import LatencyModel, UniformLatency
@@ -22,7 +22,13 @@ NodeId = str
 
 
 class NetworkNode(Protocol):
-    """What the network needs from an attached protocol instance."""
+    """What the network needs from an attached protocol instance.
+
+    Nodes may additionally define ``on_link_down(peer_id)``; the network
+    calls it synchronously when a link of theirs is removed (explicit
+    ``disconnect`` or a neighbour's ``detach``), which is what lets the
+    gossipsub router skip per-heartbeat neighbour polling.
+    """
 
     node_id: NodeId
 
@@ -32,7 +38,12 @@ class NetworkNode(Protocol):
 
 @dataclass
 class Network:
-    """Bidirectional links with per-hop latency, jitter and loss."""
+    """Bidirectional links with per-hop latency, jitter and loss.
+
+    Adjacency is indexed per node, so :meth:`neighbors` is O(degree)
+    rather than O(total links) — the difference between a 5k-peer
+    heartbeat being practical or quadratic.
+    """
 
     simulator: Simulator
     latency: LatencyModel = field(default_factory=UniformLatency)
@@ -40,7 +51,8 @@ class Network:
 
     def __post_init__(self) -> None:
         self._nodes: Dict[NodeId, NetworkNode] = {}
-        self._links: Set[Tuple[NodeId, NodeId]] = set()
+        self._adjacency: Dict[NodeId, Set[NodeId]] = {}
+        self._link_total = 0
 
     # -- membership ----------------------------------------------------------
 
@@ -48,15 +60,17 @@ class Network:
         if node.node_id in self._nodes:
             raise NetworkError(f"node {node.node_id!r} already attached")
         self._nodes[node.node_id] = node
+        self._adjacency.setdefault(node.node_id, set())
 
     def detach(self, node_id: NodeId) -> None:
         """Remove a node and all of its links (crash / churn model)."""
         if node_id not in self._nodes:
             raise NetworkError(f"unknown node {node_id!r}")
         del self._nodes[node_id]
-        self._links = {
-            link for link in self._links if node_id not in link
-        }
+        for neighbor in self._adjacency.pop(node_id, set()):
+            self._adjacency[neighbor].discard(node_id)
+            self._link_total -= 1
+            self._notify_link_down(neighbor, node_id)
 
     def node(self, node_id: NodeId) -> NetworkNode:
         if node_id not in self._nodes:
@@ -71,35 +85,48 @@ class Network:
 
     # -- links -----------------------------------------------------------------
 
-    @staticmethod
-    def _link_key(a: NodeId, b: NodeId) -> Tuple[NodeId, NodeId]:
-        return (a, b) if a <= b else (b, a)
-
     def connect(self, a: NodeId, b: NodeId) -> None:
         if a == b:
             raise NetworkError("cannot link a node to itself")
         for node_id in (a, b):
             if node_id not in self._nodes:
                 raise NetworkError(f"unknown node {node_id!r}")
-        self._links.add(self._link_key(a, b))
+        if b not in self._adjacency[a]:
+            self._adjacency[a].add(b)
+            self._adjacency[b].add(a)
+            self._link_total += 1
 
     def disconnect(self, a: NodeId, b: NodeId) -> None:
-        self._links.discard(self._link_key(a, b))
+        if b in self._adjacency.get(a, ()):
+            self._adjacency[a].discard(b)
+            self._adjacency[b].discard(a)
+            self._link_total -= 1
+            self._notify_link_down(a, b)
+            self._notify_link_down(b, a)
+
+    def _notify_link_down(self, node_id: NodeId, gone_peer: NodeId) -> None:
+        node = self._nodes.get(node_id)
+        hook = getattr(node, "on_link_down", None)
+        if hook is not None:
+            hook(gone_peer)
 
     def are_connected(self, a: NodeId, b: NodeId) -> bool:
-        return self._link_key(a, b) in self._links
+        return b in self._adjacency.get(a, ())
 
     def neighbors(self, node_id: NodeId) -> List[NodeId]:
-        out = []
-        for x, y in self._links:
-            if x == node_id:
-                out.append(y)
-            elif y == node_id:
-                out.append(x)
-        return sorted(out)
+        """Direct neighbours, sorted (deterministic iteration order)."""
+        return sorted(self._adjacency.get(node_id, ()))
+
+    def degree(self, node_id: NodeId) -> int:
+        """Neighbour count without materialising the sorted list."""
+        return len(self._adjacency.get(node_id, ()))
+
+    def neighbor_set(self, node_id: NodeId) -> Set[NodeId]:
+        """The live adjacency set (do not mutate); O(1)."""
+        return self._adjacency.get(node_id, set())
 
     def link_count(self) -> int:
-        return len(self._links)
+        return self._link_total
 
     # -- transmission -------------------------------------------------------------
 

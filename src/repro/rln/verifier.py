@@ -84,8 +84,11 @@ class VerificationCache:
     parsing, two hashes and a pairing check — the batched-verification
     fast path that makes 5k-peer scenarios tractable.
 
-    Do **not** share a cache between verifiers with different verifying
-    keys or domain tags; the memoised outcomes would not transfer.
+    Verifiers with different *domain* tags (one RLN group per topic)
+    may share a cache safely: every key is namespaced by the verifier's
+    domain, so a signal replayed from one topic onto another never
+    reuses the first topic's memoised outcome. Do **not** share a cache
+    between verifiers with different verifying keys.
     """
 
     def __init__(
@@ -159,7 +162,7 @@ class RlnVerifier:
         """
         if entry is None:
             if self.cache is not None:
-                key = _pure_key(signal)
+                key = (self.domain, *_pure_key(signal))
                 entry = self.cache.get(key)
                 if entry is None:
                     entry = SignalEntry(signal)
@@ -194,6 +197,11 @@ class RlnVerifier:
             if state is PureCheck.VALID
             else SignalCheck.INVALID_PROOF
         )
+
+    def wire_cache_key(self, raw_signal: bytes) -> Tuple:
+        """Cache key for a signal's wire bytes, namespaced by this
+        verifier's domain (the memoised checks are domain-dependent)."""
+        return (self.domain, raw_signal)
 
     def _check_binding(self, signal: RlnSignal) -> PureCheck:
         if signal.external_nullifier != external_nullifier(

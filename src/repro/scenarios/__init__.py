@@ -26,6 +26,7 @@ from .spec import (
     AdversaryMix,
     ChurnModel,
     ScenarioSpec,
+    TopicSpec,
     TrafficModel,
 )
 
@@ -36,6 +37,7 @@ __all__ = [
     "ScenarioResult",
     "ScenarioRunner",
     "ScenarioSpec",
+    "TopicSpec",
     "TrafficModel",
     "all_scenarios",
     "register_scenario",

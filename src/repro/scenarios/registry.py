@@ -18,6 +18,7 @@ from .spec import (
     AdversaryMix,
     ChurnModel,
     ScenarioSpec,
+    TopicSpec,
     TrafficModel,
 )
 
@@ -218,6 +219,96 @@ register_scenario(
                     count=2,
                     budget_stakes=3,
                     params={"probe_every": 3},
+                ),
+            ),
+        ),
+        config_overrides=_CACHE,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="multi-topic-churn",
+        description=(
+            "A genuinely multiplexed mesh: four content topics with "
+            "skewed traffic weights and partial subscriptions over one "
+            "gossip overlay, churn underneath, and an attacker bursting "
+            "into the busiest secondary topic. Per-topic RLN groups "
+            "must rate-limit and slash independently while the batched "
+            "heartbeat keeps per-topic bookkeeping cheap."
+        ),
+        peers=600,
+        duration=120.0,
+        traffic=TrafficModel(messages_per_epoch=0.5, active_fraction=0.4),
+        topics=(
+            TopicSpec("/waku/2/market/proto", traffic_weight=3.0,
+                      subscribe_fraction=0.7),
+            TopicSpec("/waku/2/chat/proto", traffic_weight=1.5,
+                      subscribe_fraction=0.5),
+            TopicSpec("/waku/2/firehose/proto", traffic_weight=0.5,
+                      subscribe_fraction=0.25, rln_protected=False),
+        ),
+        adversaries=AdversaryMix(
+            groups=(
+                AdversaryGroup(
+                    strategy="rotating-sybil",
+                    count=2,
+                    budget_stakes=5,
+                    burst=4,
+                    target_topics=("/waku/2/market/proto",),
+                ),
+            ),
+        ),
+        churn=ChurnModel(
+            join_interval=8.0,
+            leave_interval=10.0,
+            max_joins=12,
+            max_leaves=8,
+        ),
+        config_overrides=_CACHE,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="multi-topic-5k",
+        description=(
+            "The 5k-peer profile the batched gossip bookkeeping "
+            "unlocks: 5000 peers, six topics, light per-peer traffic "
+            "and one adaptive attacker per busy topic. Tier-1 smokes "
+            "it tiny; the full scale runs behind -m slow."
+        ),
+        peers=5000,
+        duration=60.0,
+        traffic=TrafficModel(messages_per_epoch=0.25, active_fraction=0.1),
+        topics=(
+            TopicSpec("/waku/2/market/proto", traffic_weight=2.0,
+                      subscribe_fraction=0.5),
+            TopicSpec("/waku/2/chat/proto", traffic_weight=2.0,
+                      subscribe_fraction=0.4),
+            TopicSpec("/waku/2/news/proto", traffic_weight=1.0,
+                      subscribe_fraction=0.3),
+            TopicSpec("/waku/2/status/proto", traffic_weight=1.0,
+                      subscribe_fraction=0.2),
+            TopicSpec("/waku/2/firehose/proto", traffic_weight=0.5,
+                      subscribe_fraction=0.1, rln_protected=False),
+        ),
+        adversaries=AdversaryMix(
+            groups=(
+                AdversaryGroup(
+                    strategy="adaptive-backoff",
+                    count=2,
+                    budget_stakes=4,
+                    burst=6,
+                    target_topics=("/waku/2/market/proto",),
+                ),
+                AdversaryGroup(
+                    strategy="burst-flood",
+                    count=2,
+                    budget_stakes=4,
+                    burst=5,
+                    params={"epochs": 3},
+                    target_topics=("/waku/2/chat/proto",),
                 ),
             ),
         ),

@@ -47,6 +47,10 @@ class ScenarioResult:
     #: Column-oriented per-epoch series from the adversary engine
     #: (keys like ``t``, ``attacker_cost_wei``, ``spam_delivered``).
     series: Dict[str, List[float]] = field(default_factory=dict)
+    #: Per-topic breakdown for multi-topic scenarios (empty otherwise):
+    #: topic -> {honest_published, honest_delivered, delivery_rate,
+    #: spam_delivered, subscribers}.
+    topics: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: Selected validator/router counters (validator.*, gossipsub.*).
     counters: Dict[str, int] = field(default_factory=dict)
     sim_time: float = 0.0
@@ -82,6 +86,10 @@ class ScenarioResult:
                 key: [round(v, 6) for v in values]
                 for key, values in sorted(self.series.items())
             },
+            "topics": {
+                name: {k: round(v, 6) for k, v in sorted(stats.items())}
+                for name, stats in sorted(self.topics.items())
+            },
             "counters": dict(sorted(self.counters.items())),
             "sim_time": self.sim_time,
             "events_processed": self.events_processed,
@@ -108,8 +116,31 @@ class ScenarioResult:
         counters = data.pop("counters")
         extras = data.pop("extras")
         series = data.pop("series")
+        topics = data.pop("topics")
         for key, value in data.items():
             lines.append(f"  {key:<26} {value}")
+        if topics:
+            lines.append("  per-topic breakdown:")
+            columns = (
+                "subscribers",
+                "honest_published",
+                "honest_delivered",
+                "delivery_rate",
+                "spam_delivered",
+            )
+            lines.append(
+                "    " + f"{'topic':<28}" + "  ".join(
+                    f"{c:>17}" for c in columns
+                )
+            )
+            for name, stats in topics.items():
+                lines.append(
+                    "    "
+                    + f"{name:<28}"
+                    + "  ".join(
+                        f"{stats.get(c, 0):>17g}" for c in columns
+                    )
+                )
         if series:
             lines.append("  attack economics series (per engine epoch):")
             keys = [k for k in ("t", "spam_sent", "spam_delivered",

@@ -27,6 +27,7 @@ from ..core.peer import WakuRlnRelayPeer
 from ..core.protocol import WakuRlnRelayNetwork
 from ..errors import RateLimitError, RegistrationError
 from ..sim.simulator import Simulator
+from ..waku.message import DEFAULT_PUBSUB_TOPIC, WakuMessage
 from .result import ScenarioResult
 from .spec import ScenarioSpec
 
@@ -78,22 +79,86 @@ class ScenarioRunner:
         self._expected_deliveries = 0
         self._joined = 0
         self._left = 0
+        #: topic -> ids of peers subscribed (the primary holds everyone).
+        self._topic_subscribers: Dict[str, Set[str]] = {
+            DEFAULT_PUBSUB_TOPIC: {p.node_id for p in self.net.peers}
+        }
+        #: topic -> live honest subscriber count (the per-publish
+        #: delivery-expectation denominator, maintained incrementally
+        #: so a publish costs O(1), not O(peers)).
+        self._honest_subscribers: Dict[str, int] = {
+            DEFAULT_PUBSUB_TOPIC: len(self.net.peers)
+            - len(self._adversary_ids)
+        }
+        self._open_topics: Set[str] = {
+            t.name for t in spec.topics if not t.rln_protected
+        }
+        #: Per-topic aggregates over honest receivers / publishers.
+        self._topic_counts: Dict[str, List[int]] = {
+            name: [0, 0] for name in spec.topic_names
+        }
+        self._topic_published: Dict[str, int] = {
+            name: 0 for name in spec.topic_names
+        }
+        self._topic_expected: Dict[str, int] = {
+            name: 0 for name in spec.topic_names
+        }
+        for topic in spec.topics:
+            self._topic_subscribers[topic.name] = set()
+            self._honest_subscribers[topic.name] = 0
         for peer in self.net.peers:
+            self._wire_topics(peer, self.net.simulator.rng)
             self._attach_recorder(peer)
-        self.net.on_peer_added(self._attach_recorder)
+        self.net.on_peer_added(self._on_join)
 
     # -- wiring ----------------------------------------------------------------
 
+    def _wire_topics(self, peer: WakuRlnRelayPeer, rng) -> None:
+        """Subscribe ``peer`` to the spec's extra topics
+        (seed-deterministic per-topic coin flips)."""
+        for topic in self.spec.topics:
+            if topic.subscribe_fraction <= 0:
+                continue
+            if (
+                topic.subscribe_fraction < 1.0
+                and rng.random() >= topic.subscribe_fraction
+            ):
+                continue
+            if topic.rln_protected:
+                peer.join_rln_topic(topic.name)
+            else:
+                peer.join_open_topic(topic.name)
+            self._topic_subscribers[topic.name].add(peer.node_id)
+            if peer.node_id not in self._adversary_ids:
+                self._honest_subscribers[topic.name] += 1
+
+    def _on_join(self, peer: WakuRlnRelayPeer) -> None:
+        """Churn joiner: same topic wiring + recorders as the initial
+        population (joiners are always honest — adversaries come from
+        the initial peer list's tail)."""
+        self._topic_subscribers[DEFAULT_PUBSUB_TOPIC].add(peer.node_id)
+        self._honest_subscribers[DEFAULT_PUBSUB_TOPIC] += 1
+        self._wire_topics(peer, self.net.simulator.rng)
+        self._attach_recorder(peer)
+
     def _attach_recorder(self, peer: WakuRlnRelayPeer) -> None:
         counts = self._received.setdefault(peer.node_id, [0, 0])
+        node_id = peer.node_id
 
-        def record(payload: bytes, _msg_id: str) -> None:
+        def record(topic: str, payload: bytes, _msg_id: str) -> None:
             if payload.startswith(SPAM_MARKER):
-                counts[1] += 1
+                kind = 1
             elif payload.startswith(HONEST_MARKER):
-                counts[0] += 1
+                kind = 0
+            else:
+                return
+            counts[kind] += 1
+            if node_id not in self._adversary_ids:
+                by_topic = self._topic_counts.get(topic)
+                if by_topic is not None:
+                    by_topic[kind] += 1
 
-        peer.on_payload(record)
+        peer.on_topic_payload(record)
 
     def _honest_peers(self) -> List[WakuRlnRelayPeer]:
         return [
@@ -109,6 +174,26 @@ class ScenarioRunner:
         )
 
     # -- processes ---------------------------------------------------------------
+
+    def _publish_topics_for(self, peer: WakuRlnRelayPeer):
+        """(topics, weights) this publisher multiplexes over: the
+        primary (weight 1.0) plus every extra topic it subscribes to."""
+        topics = [DEFAULT_PUBSUB_TOPIC]
+        weights = [1.0]
+        for topic in self.spec.topics:
+            if (
+                topic.traffic_weight > 0
+                and peer.node_id in self._topic_subscribers[topic.name]
+            ):
+                topics.append(topic.name)
+                weights.append(topic.traffic_weight)
+        return topics, weights
+
+    def _count_expected(self, topic: str) -> int:
+        """Honest peers currently alive and subscribed to ``topic`` —
+        one published message's delivery potential. O(1): the count is
+        maintained through wiring and churn."""
+        return self._honest_subscribers[topic]
 
     def _schedule_traffic(self) -> None:
         traffic = self.spec.traffic
@@ -127,18 +212,33 @@ class ScenarioRunner:
             sequence = [0]
 
             def publish(_sim: Simulator, target=peer, seq=sequence) -> None:
+                topics, weights = self._publish_topics_for(target)
+                if len(topics) == 1:
+                    topic = topics[0]
+                else:
+                    topic = rng.choices(topics, weights)[0]
                 payload = (
                     HONEST_MARKER
                     + f"{target.node_id}|{seq[0]}".encode()
                     + filler
                 )
                 try:
-                    target.publish(payload)
+                    if topic in self._open_topics:
+                        # Open topics carry plain Waku traffic — no
+                        # proof, no rate limit.
+                        target.relay.publish(
+                            WakuMessage(payload=payload), topic=topic
+                        )
+                    else:
+                        target.publish(payload, pubsub_topic=topic)
                 except (RateLimitError, RegistrationError):
                     return  # own limit hit, or not registered yet
                 seq[0] += 1
                 self._honest_published += 1
-                self._expected_deliveries += len(self._honest_peers())
+                expected = self._count_expected(topic)
+                self._expected_deliveries += expected
+                self._topic_published[topic] += 1
+                self._topic_expected[topic] += expected
 
             self.net.simulator.schedule(
                 traffic.start + rng.uniform(0, interval),
@@ -179,6 +279,7 @@ class ScenarioRunner:
                     peer,
                     build_strategy(group.strategy, burst=burst, **params),
                     budget_wei=group.budget_stakes * stake,
+                    target_topics=group.target_topics,
                 )
         engine.launch()
         return engine
@@ -216,6 +317,14 @@ class ScenarioRunner:
                 if len(candidates) > 1:
                     victim = sim.rng.choice(candidates)
                     self.net.remove_peer(victim)
+                    # Victims are always honest (candidates exclude
+                    # adversaries), so each drop is an honest one.
+                    for name, subscribers in (
+                        self._topic_subscribers.items()
+                    ):
+                        if victim in subscribers:
+                            subscribers.discard(victim)
+                            self._honest_subscribers[name] -= 1
                     self._left += 1
                 if self._left < churn.max_leaves:
                     sim.schedule(churn.leave_interval, leave, "churn-leave")
@@ -337,6 +446,20 @@ class ScenarioRunner:
             )
         if spec.compare_baseline:
             extras.update(self._run_baseline())
+        topic_summary: Dict[str, Dict[str, float]] = {}
+        if spec.topics:
+            for name in spec.topic_names:
+                delivered, spam = self._topic_counts[name]
+                topic_expected = self._topic_expected[name]
+                topic_summary[name] = {
+                    "subscribers": float(self._count_expected(name)),
+                    "honest_published": float(self._topic_published[name]),
+                    "honest_delivered": float(delivered),
+                    "delivery_rate": (
+                        delivered / topic_expected if topic_expected else 0.0
+                    ),
+                    "spam_delivered": float(spam),
+                }
 
         # Slashing settles on-chain during the run; read the final
         # flow of funds straight off the chain. Every slashed stake
@@ -391,6 +514,7 @@ class ScenarioRunner:
                 attack_report.rotations if attack_report else 0
             ),
             series=series,
+            topics=topic_summary,
             proof_verifications=metrics.counter("rln.proof_verifications"),
             verification_cache_hits=metrics.counter("rln.proof_cache_hits"),
             counters=counters,

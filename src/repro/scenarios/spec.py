@@ -16,6 +16,41 @@ from typing import Mapping, Optional, Tuple
 from ..constants import ETH_BLOCK_INTERVAL_SECONDS
 from ..core.config import ProtocolConfig
 from ..errors import ScenarioError
+from ..waku.message import DEFAULT_PUBSUB_TOPIC
+
+
+@dataclass(frozen=True)
+class TopicSpec:
+    """One extra pubsub topic of a multiplexed mesh.
+
+    A scenario's mesh always carries the primary topic
+    (:data:`~repro.waku.message.DEFAULT_PUBSUB_TOPIC`, implicit traffic
+    weight 1.0, every peer subscribed); ``ScenarioSpec.topics`` adds
+    named topics next to it. ``traffic_weight`` is this topic's share of
+    each publisher's honest traffic relative to the other topics it is
+    subscribed to; ``subscribe_fraction`` selects (seed-deterministic)
+    which peers join; ``rln_protected`` gives the topic its own RLN
+    group — an independent one-message-per-epoch budget and
+    double-signal detection with domain-separated nullifiers — while
+    ``False`` leaves it an open, unlimited topic.
+    """
+
+    name: str
+    traffic_weight: float = 1.0
+    subscribe_fraction: float = 1.0
+    rln_protected: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("a topic needs a name")
+        if self.name == DEFAULT_PUBSUB_TOPIC:
+            raise ScenarioError(
+                "the primary topic is implicit; list only extra topics"
+            )
+        if self.traffic_weight < 0:
+            raise ScenarioError("traffic_weight must be >= 0")
+        if not 0.0 <= self.subscribe_fraction <= 1.0:
+            raise ScenarioError("subscribe_fraction must be within [0, 1]")
 
 
 @dataclass(frozen=True)
@@ -57,10 +92,19 @@ class AdversaryGroup:
     budget_stakes: int = 4
     burst: int = 5
     params: Mapping[str, object] = field(default_factory=dict)
+    #: Pubsub topics the group's agents spam, round-robin per message.
+    #: Empty = the primary topic. Names must be the primary topic or
+    #: RLN-protected entries of ``ScenarioSpec.topics`` (spamming an
+    #: open topic is the unprotected baseline, not an RLN attack).
+    target_topics: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.count < 0:
             raise ScenarioError("adversary group count must be >= 0")
+        if not isinstance(self.target_topics, tuple):
+            object.__setattr__(
+                self, "target_topics", tuple(self.target_topics)
+            )
         if self.budget_stakes < 1:
             raise ScenarioError(
                 "an adversary needs at least 1 stake of budget to exist"
@@ -171,6 +215,9 @@ class ScenarioSpec:
     traffic: TrafficModel = field(default_factory=TrafficModel)
     adversaries: AdversaryMix = field(default_factory=AdversaryMix)
     churn: ChurnModel = field(default_factory=ChurnModel)
+    #: Extra pubsub topics multiplexed over the same mesh (the primary
+    #: topic is always present); see :class:`TopicSpec`.
+    topics: Tuple[TopicSpec, ...] = ()
     #: Attribute overrides applied to the default :class:`ProtocolConfig`.
     config_overrides: Mapping[str, object] = field(default_factory=dict)
     #: Also run the same adversary against an unprotected baseline relay
@@ -184,6 +231,39 @@ class ScenarioSpec:
             raise ScenarioError("spammers must leave at least one honest peer")
         if self.duration <= 0:
             raise ScenarioError("duration must be positive")
+        if not isinstance(self.topics, tuple):
+            object.__setattr__(self, "topics", tuple(self.topics))
+        names = [t.name for t in self.topics]
+        if len(set(names)) != len(names):
+            raise ScenarioError(f"duplicate topic names: {sorted(names)}")
+        targetable = {DEFAULT_PUBSUB_TOPIC} | {
+            t.name for t in self.topics if t.rln_protected
+        }
+        for group in self.adversaries.groups:
+            unknown_topics = set(group.target_topics) - targetable
+            if unknown_topics:
+                raise ScenarioError(
+                    f"adversary group {group.strategy!r} targets topics "
+                    f"that are not RLN-protected topics of this scenario: "
+                    f"{sorted(unknown_topics)}"
+                )
+            # Rate limits are per topic: a burst round-robined over N
+            # targets must exceed one message per topic per epoch, or
+            # the "attack" is legal traffic that never double-signals
+            # and the economics silently measure nothing.
+            resolved_burst = group.params.get("burst", group.burst)
+            if (
+                len(group.target_topics) > 1
+                and isinstance(resolved_burst, (int, float))
+                and resolved_burst <= len(group.target_topics)
+            ):
+                raise ScenarioError(
+                    f"adversary group {group.strategy!r}: burst "
+                    f"{resolved_burst} spread over "
+                    f"{len(group.target_topics)} target topics never "
+                    "exceeds the per-topic rate limit; raise burst "
+                    "above the target count or target fewer topics"
+                )
         unknown = set(self.config_overrides) - {
             f.name for f in ProtocolConfig.__dataclass_fields__.values()
         }
@@ -191,6 +271,11 @@ class ScenarioSpec:
             raise ScenarioError(
                 f"unknown ProtocolConfig overrides: {sorted(unknown)}"
             )
+
+    @property
+    def topic_names(self) -> Tuple[str, ...]:
+        """All pubsub topics of the run: primary first, extras after."""
+        return (DEFAULT_PUBSUB_TOPIC,) + tuple(t.name for t in self.topics)
 
     def build_config(self) -> ProtocolConfig:
         return replace(ProtocolConfig(), **dict(self.config_overrides))

@@ -132,8 +132,19 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
-        """Drain the queue, optionally stopping at simulated time ``until``."""
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 1_000_000_000,
+    ) -> None:
+        """Drain the queue, optionally stopping at simulated time ``until``.
+
+        ``max_events`` is a runaway guard (e.g. a zero-delay event loop
+        rescheduling itself forever); hitting it with work still
+        pending before ``until`` raises instead of silently truncating
+        the simulation — a cut-short run would otherwise report
+        plausible but wrong metrics.
+        """
         processed = 0
         while self._queue and processed < max_events:
             head = self._queue[0]
@@ -144,6 +155,20 @@ class Simulator:
                 break
             self.step()
             processed += 1
+        if processed >= max_events:
+            # Drop cancelled entries so the truncation check sees the
+            # first *live* pending event (a cancelled timer at the head
+            # must not mask real unprocessed work).
+            while self._queue and self._queue[0].cancelled:
+                heapq.heappop(self._queue)
+            if self._queue and (
+                until is None or self._queue[0].time <= until
+            ):
+                raise SimulationError(
+                    f"event budget exhausted ({max_events} events) with "
+                    f"work pending at t={self._queue[0].time:.3f}; raise "
+                    "max_events or shrink the workload"
+                )
         if until is not None and (not self._queue or self.now < until):
             self.now = max(self.now, until)
 

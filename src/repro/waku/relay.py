@@ -29,6 +29,10 @@ from .message import DEFAULT_PUBSUB_TOPIC, WakuMessage
 #: receivers genuinely cannot know the origin.
 MessageHandler = Callable[[WakuMessage, str], None]
 
+#: Topic-aware handler: (pubsub topic, message, msg_id) — still no
+#: sender; the topic is routing metadata, not an identity.
+TopicMessageHandler = Callable[[str, WakuMessage, str], None]
+
 #: Waku validator: message -> ValidationResult.
 WakuValidator = Callable[[WakuMessage], ValidationResult]
 
@@ -62,6 +66,7 @@ class WakuRelayNode:
         self._topics: Set[str] = set()
         #: (topic or None, handler) — None scopes to every joined topic.
         self._handlers: List[Tuple[Optional[str], MessageHandler]] = []
+        self._topic_handlers: List[TopicMessageHandler] = []
         self._validators: List[Tuple[Optional[str], WakuValidator]] = []
         #: bytes -> decoded envelope (None = known-malformed bytes).
         self._decode_cache: "OrderedDict[bytes, Optional[WakuMessage]]" = (
@@ -117,6 +122,10 @@ class WakuRelayNode:
     ) -> None:
         """Register a delivery handler, optionally scoped to one topic."""
         self._handlers.append((topic, handler))
+
+    def on_topic_message(self, handler: TopicMessageHandler) -> None:
+        """Register a handler that also receives the pubsub topic."""
+        self._topic_handlers.append(handler)
 
     def add_validator(
         self, validator: WakuValidator, topic: Optional[str] = None
@@ -181,3 +190,5 @@ class WakuRelayNode:
         for scope, handler in self._handlers:
             if scope is None or scope == topic:
                 handler(message, msg_id)
+        for topic_handler in self._topic_handlers:
+            topic_handler(topic, message, msg_id)

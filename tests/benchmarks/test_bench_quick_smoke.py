@@ -1,0 +1,52 @@
+"""Tier-1 smoke job for the benchmark suite.
+
+Benchmarks are not collected by the default test run (their files are
+``bench_*.py``), which historically let them rot as APIs moved. This
+test runs the whole suite in ``--bench-quick`` mode — every bench
+script must import, build its rig and complete one tiny iteration —
+inside a subprocess, so a bench failure surfaces in tier-1 without
+tier-1 paying full benchmark cost.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_bench_quick_suite_runs():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    env.setdefault("PYTHONHASHSEED", "0")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks",
+            "-o",
+            "python_files=bench_*.py",
+            "--bench-quick",
+            "--benchmark-disable",
+            "-q",
+            "-x",
+            "-p",
+            "no:cacheprovider",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=800,
+    )
+    assert proc.returncode == 0, (
+        "bench quick-smoke failed:\n"
+        + proc.stdout[-4000:]
+        + proc.stderr[-2000:]
+    )

@@ -91,6 +91,30 @@ class TestRunUntil:
         sim.run_for(2.0)
         assert sim.now == 5.0
 
+    def test_event_budget_exhaustion_raises_loudly(self):
+        """A cut-short run must raise, never report plausible metrics."""
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule(1.0, lambda s: None)
+        with pytest.raises(SimulationError):
+            sim.run(until=5.0, max_events=2)
+
+    def test_cancelled_head_does_not_mask_truncation(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda s: None)
+        sim.schedule(2.0, lambda s: None)  # real pending work
+        sim.schedule(0.5, lambda s: None)
+        handle.cancel()
+        with pytest.raises(SimulationError):
+            sim.run(until=10.0, max_events=1)
+
+    def test_budget_not_triggered_by_events_beyond_until(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None)
+        sim.schedule(100.0, lambda s: None)  # outside the window
+        sim.run(until=5.0, max_events=1)
+        assert sim.now == 5.0
+
 
 class TestPeriodic:
     def test_periodic_fires_repeatedly(self):
