@@ -1,0 +1,262 @@
+"""Membership sync at scale: shared copy-on-write store vs replicas.
+
+The paper's "every peer maintains the Merkle tree locally" means a
+mid-run membership event (registration or slash) re-hashes an O(depth)
+path in every replica — O(peers x topics x depth) hashes network-wide
+per event. The shared store (``ProtocolConfig.shared_membership_store``)
+records each event once on the canonical tree; every other replica's
+application is a pointer advance.
+
+Two measurements:
+
+* a replica-grid microbenchmark — 1k peers x 8 topic domains, a burst
+  of mid-run registrations and slashes applied to every replica, with
+  sharing on and off: network-wide hash count (the process-global
+  :func:`repro.crypto.hashing.hash_call_count` probe) and wall clock.
+  Sharing must cut hashes by >=10x (in practice it is ~peers x);
+* an end-to-end equivalence check — the ``multi-topic-churn`` scenario
+  (mid-run joins = mid-run registrations) with the store on and off,
+  asserting **bit-identical** behaviour: the toggle only changes the
+  work done, never a protocol decision.
+
+Run with ``pytest benchmarks/bench_membership_sync.py -s``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import List
+
+from repro.crypto.field import Fr
+from repro.crypto.hashing import hash_call_count
+from repro.crypto.keys import MembershipKeyPair
+from repro.rln.membership import LocalGroup, MembershipStore
+from repro.scenarios import run_scenario, scenario
+
+DEPTH = 20
+
+
+def _bootstrap_population(
+    peers: int, domains: List[str], members, shared: bool
+):
+    """peers x domains replicas, pre-synced to ``members`` registrations.
+
+    Bootstrap replicates one synced reference per domain (the
+    ``register_all`` fast path), so the measured section isolates the
+    *mid-run* event cost.
+    """
+    store = MembershipStore(depth=DEPTH) if shared else None
+    grid: List[List[LocalGroup]] = []
+    references = {}
+    for domain in domains:
+        reference = (
+            store.local_group(domain) if shared else LocalGroup(DEPTH)
+        )
+        for event, pair in enumerate(members):
+            reference.apply_registration(pair.commitment, event)
+        references[domain] = reference
+    for _ in range(peers):
+        row = []
+        for domain in domains:
+            group = (
+                store.local_group(domain) if shared else LocalGroup(DEPTH)
+            )
+            group.replicate_from(references[domain])
+            row.append(group)
+        grid.append(row)
+    return store, grid
+
+
+def _apply_midrun_events(grid, newcomers, base_event: int) -> None:
+    """Interleave registrations and slashes across every replica."""
+    event = base_event
+    for round_index, pair in enumerate(newcomers):
+        for row in grid:
+            for group in row:
+                group.apply_registration(pair.commitment, event)
+        event += 1
+        if round_index % 2:  # slash an early member every other round
+            victim = round_index // 2
+            for row in grid:
+                for group in row:
+                    group.apply_removal(victim, event)
+            event += 1
+
+
+def test_midrun_membership_events_shared_vs_independent(
+    record_table, bench_scale
+):
+    peers = bench_scale.n(1000, 20)
+    topics = bench_scale.n(8, 2)
+    bootstrap_members = bench_scale.n(64, 8)
+    midrun_registrations = bench_scale.n(8, 3)
+
+    import random
+
+    rng = random.Random(42)
+    members = [
+        MembershipKeyPair.generate(rng) for _ in range(bootstrap_members)
+    ]
+    newcomers = [
+        MembershipKeyPair.generate(rng)
+        for _ in range(midrun_registrations)
+    ]
+    domains = [f"/bench/topic-{t}" for t in range(topics)]
+
+    rows = []
+    measured = {}
+    stores = {}
+    grids = {}
+    for label, shared in (("independent", False), ("shared", True)):
+        store, grid = _bootstrap_population(peers, domains, members, shared)
+        hashes_before = hash_call_count()
+        start = time.perf_counter()
+        _apply_midrun_events(grid, newcomers, base_event=bootstrap_members)
+        elapsed = time.perf_counter() - start
+        hashes = hash_call_count() - hashes_before
+        events = len(newcomers) + len(newcomers) // 2
+        measured[label] = (hashes, elapsed)
+        stores[label] = store
+        grids[label] = grid
+        rows.append(
+            (
+                label,
+                peers,
+                topics,
+                events,
+                hashes,
+                round(hashes / (events * topics), 1),
+                round(elapsed, 3),
+            )
+        )
+
+    # Equivalence: every replica in both populations converged to the
+    # same roots and windows, domain by domain.
+    for row_shared, row_indep in zip(grids["shared"], grids["independent"]):
+        for group_shared, group_indep in zip(row_shared, row_indep):
+            assert group_shared.root == group_indep.root
+            assert group_shared.recent_roots() == group_indep.recent_roots()
+
+    hash_reduction = measured["independent"][0] / measured["shared"][0]
+    wall_reduction = measured["independent"][1] / measured["shared"][1]
+    stats = stores["shared"].stats()
+    record_table(
+        "bench_membership_sync",
+        f"Mid-run membership events, {peers} peers x {topics} topics "
+        f"(depth {DEPTH})",
+        (
+            "mode",
+            "peers",
+            "topics",
+            "events",
+            "network-wide hashes",
+            "hashes / event / domain",
+            "wall clock (s)",
+        ),
+        rows,
+        note=(
+            f"sharing: {hash_reduction:.0f}x fewer hashes, "
+            f"{wall_reduction:.1f}x wall clock; "
+            f"{stats['events_deduped']} replica applications deduped, "
+            f"{stats['forks']} forks"
+        ),
+        meta={
+            "scale_peers": peers,
+            "scale_topics": topics,
+            "depth": DEPTH,
+            "hash_reduction": round(hash_reduction, 1),
+            "wall_clock_reduction": round(wall_reduction, 2),
+            "events_deduped": stats["events_deduped"],
+            "forks": stats["forks"],
+        },
+    )
+    assert stats["forks"] == 0
+    if not bench_scale.quick:
+        assert hash_reduction >= 10.0, (
+            f"shared store must cut network-wide hashes >=10x, "
+            f"got {hash_reduction:.1f}x"
+        )
+        assert wall_reduction >= 3.0, (
+            f"shared store must cut wall clock >=3x, "
+            f"got {wall_reduction:.1f}x"
+        )
+
+
+def _behaviour_fingerprint(result) -> dict:
+    """Every protocol outcome of a run (not the work counters)."""
+    return {
+        "honest_published": result.honest_published,
+        "honest_delivered": result.honest_delivered,
+        "delivery_rate": round(result.delivery_rate, 9),
+        "spam_published": result.spam_published,
+        "spam_delivered": result.spam_delivered,
+        "slashes_submitted": result.slashes_submitted,
+        "members_slashed": result.members_slashed,
+        "stake_burnt": result.stake_burnt,
+        "reporter_rewards": result.reporter_rewards,
+        "attacker_spend": result.attacker_spend,
+        "identity_rotations": result.identity_rotations,
+        "joined": result.joined,
+        "left": result.left,
+        "topics": result.topics,
+    }
+
+
+def test_scenario_outcomes_identical_with_store_on_and_off(
+    record_table, bench_scale
+):
+    """multi-topic-churn (mid-run joins, slashing, rotation) must be
+    bit-identical with the shared store on and off."""
+    peers = bench_scale.n(200, 20)
+    duration = bench_scale.n(90.0, 40.0)
+    base = scenario("multi-topic-churn").scaled(
+        peers=peers, duration=duration
+    )
+
+    rows = []
+    behaviours = {}
+    dedup = {}
+    for label, shared in (("shared", True), ("independent", False)):
+        spec = replace(
+            base,
+            config_overrides={
+                **dict(base.config_overrides),
+                "shared_membership_store": shared,
+            },
+        )
+        result = run_scenario(spec)
+        behaviours[label] = _behaviour_fingerprint(result)
+        dedup[label] = result.extras.get("membership_events_deduped", 0.0)
+        rows.append(
+            (
+                label,
+                round(result.wall_clock_seconds, 2),
+                result.joined,
+                result.members_slashed,
+                round(result.delivery_rate, 4),
+                int(dedup[label]),
+            )
+        )
+
+    record_table(
+        "bench_membership_sync_equivalence",
+        f"multi-topic-churn at {peers} peers: store on vs off",
+        (
+            "mode",
+            "wall clock (s)",
+            "joined",
+            "slashed",
+            "delivery rate",
+            "events deduped",
+        ),
+        rows,
+        note="Behaviour fingerprints must be identical; only the "
+        "membership hashing differs.",
+        meta={
+            "scale_peers": peers,
+            "events_deduped_shared": int(dedup["shared"]),
+        },
+    )
+    assert behaviours["shared"] == behaviours["independent"]
+    assert dedup["shared"] > 0

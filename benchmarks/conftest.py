@@ -64,19 +64,41 @@ def results_dir() -> Path:
 
 @pytest.fixture
 def record_table(results_dir, bench_scale):
-    """Write (and echo) one experiment table.
+    """Write (and echo) one experiment table, plus its JSON twin.
 
-    Under ``--bench-quick`` the table is printed but *not* persisted:
-    smoke-scale numbers must never overwrite the recorded full-scale
-    results that EXPERIMENTS.md cites.
+    Every table is also emitted as a schema-validated JSON payload
+    (``benchmarks/results/<name>.json``) so perf numbers accumulate as
+    a machine-readable trajectory; ``meta`` carries key figures (scale,
+    wall-clock, hash counts, cache hit rates) a tracker should not have
+    to re-parse out of table cells.
+
+    Under ``--bench-quick`` the table is printed and the payload is
+    still schema-validated, but nothing is persisted: smoke-scale
+    numbers must never overwrite the recorded full-scale results that
+    EXPERIMENTS.md cites.
     """
 
-    def write(name: str, title: str, headers, rows, note: str = "") -> str:
-        from repro.analysis import format_experiment
+    def write(
+        name: str,
+        title: str,
+        headers,
+        rows,
+        note: str = "",
+        meta: dict = None,
+    ) -> str:
+        import json
+
+        from repro.analysis import experiment_payload, format_experiment
 
         text = format_experiment(title, headers, rows, note)
+        payload = experiment_payload(
+            name, title, headers, rows, note, meta
+        )
         if not bench_scale.quick:
             (results_dir / f"{name}.txt").write_text(text)
+            (results_dir / f"{name}.json").write_text(
+                json.dumps(payload, indent=2) + "\n"
+            )
         print("\n" + text)
         return text
 

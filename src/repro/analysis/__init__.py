@@ -19,7 +19,13 @@ from .ablations import (
     mesh_degree_ablation,
     root_window_ablation,
 )
-from .reporting import format_experiment, format_table, human_bytes
+from .reporting import (
+    experiment_payload,
+    format_experiment,
+    format_table,
+    human_bytes,
+    validate_experiment_payload,
+)
 from .scaling import network_scaling_experiment
 from .spam_experiments import (
     nullifier_map_experiment,
@@ -42,6 +48,8 @@ __all__ = [
     "nullifier_map_experiment",
     "format_table",
     "format_experiment",
+    "experiment_payload",
+    "validate_experiment_payload",
     "human_bytes",
     "epoch_length_ablation",
     "root_window_ablation",

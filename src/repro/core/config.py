@@ -57,6 +57,14 @@ class ProtocolConfig:
     #: network-global). 0 disables the cache — every router verifies
     #: every signal itself, the paper's naive per-message cost model.
     verification_cache_size: int = 0
+    #: Share one canonical copy-on-write membership tree per deployment
+    #: domain across all replicas (each peer holds a ``SharedMerkleView``
+    #: instead of an independent ``MerkleTree``): a membership event then
+    #: costs O(depth) hashes once network-wide instead of once per
+    #: replica. False reverts to fully independent replicas — the
+    #: paper's literal reading — which the equivalence property tests
+    #: prove bit-identical (same roots, root windows, decisions).
+    shared_membership_store: bool = True
     performance_model: PerformanceModel = DEFAULT_PERFORMANCE_MODEL
     gossip: GossipSubParams = field(default_factory=GossipSubParams)
 

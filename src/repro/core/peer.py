@@ -24,7 +24,7 @@ from ..crypto.zksnark.groth16 import ProvingKey, VerifyingKey
 from ..errors import RateLimitError, RegistrationError
 from ..eth.chain import Blockchain
 from ..net.network import Network, NodeId
-from ..rln.membership import LocalGroup
+from ..rln.membership import LocalGroup, MembershipStore
 from ..rln.prover import RlnProver
 from ..rln.slashing import SlashingEvidence
 from ..rln.verifier import RlnVerifier, VerificationCache
@@ -72,6 +72,7 @@ class WakuRlnRelayPeer:
         initial_balance_wei: Optional[int] = None,
         clock_skew: float = 0.0,
         verification_cache: Optional[VerificationCache] = None,
+        membership_store: Optional[MembershipStore] = None,
     ) -> None:
         self.node_id = node_id
         self.network = network
@@ -81,7 +82,14 @@ class WakuRlnRelayPeer:
 
         self._rng = rng
         self.keypair = MembershipKeyPair.generate(rng)
-        self.group = LocalGroup(config.merkle_depth, config.root_window)
+        # One membership (stake + tree) serves every topic of this peer;
+        # with a deployment store the replica is a copy-on-write view of
+        # the one canonical tree, otherwise it is fully independent.
+        self.group = (
+            membership_store.local_group(config.domain or "")
+            if membership_store is not None
+            else LocalGroup(config.merkle_depth, config.root_window)
+        )
         self.prover = RlnProver(
             keypair=self.keypair,
             proving_key=proving_key,

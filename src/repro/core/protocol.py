@@ -24,6 +24,7 @@ from ..eth.chain import Blockchain
 from ..eth.contracts import MembershipRegistry, OnChainTreeContract
 from ..net.network import Network, NodeId
 from ..net.topology import connect_full_mesh, connect_random_regular
+from ..rln.membership import MembershipStore
 from ..rln.prover import rln_keys
 from ..rln.verifier import VerificationCache
 from ..sim.latency import LatencyModel, UniformLatency
@@ -84,6 +85,15 @@ class WakuRlnRelayNetwork:
             if self.config.verification_cache_size > 0
             else None
         )
+        #: Deployment-wide shared membership-tree store (None = every
+        #: replica keeps its own independent MerkleTree).
+        self.membership_store: Optional[MembershipStore] = (
+            MembershipStore(
+                self.config.merkle_depth, self.config.root_window
+            )
+            if self.config.shared_membership_store
+            else None
+        )
 
         self._degree = degree
         self._next_peer_index = peer_count
@@ -114,6 +124,7 @@ class WakuRlnRelayNetwork:
             verifying_key=self.verifying_key,
             rng=self.simulator.rng,
             verification_cache=self.verification_cache,
+            membership_store=self.membership_store,
         )
 
     # -- churn ------------------------------------------------------------------

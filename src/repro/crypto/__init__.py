@@ -5,13 +5,17 @@ from .hashing import (
     available_backends,
     get_hash_backend,
     hash1,
+    hash1_int,
     hash2,
+    hash2_int,
     hash_bytes_to_field,
+    hash_call_count,
     set_hash_backend,
 )
 from .keys import IdentityCommitment, IdentitySecret, MembershipKeyPair
-from .merkle import MerkleProof, MerkleTree, zero_hashes
+from .merkle import MerkleProof, MerkleTree, zero_hashes, zero_hashes_int
 from .merkle_optimized import FrontierMerkleTree
+from .merkle_shared import CanonicalMerkleTree, SharedMerkleView
 from .poseidon import poseidon_hash, poseidon_hash1, poseidon_hash2
 from .shamir import (
     Share,
@@ -29,6 +33,9 @@ __all__ = [
     "fr_product",
     "hash1",
     "hash2",
+    "hash1_int",
+    "hash2_int",
+    "hash_call_count",
     "hash_bytes_to_field",
     "set_hash_backend",
     "get_hash_backend",
@@ -39,7 +46,10 @@ __all__ = [
     "MerkleTree",
     "MerkleProof",
     "FrontierMerkleTree",
+    "CanonicalMerkleTree",
+    "SharedMerkleView",
     "zero_hashes",
+    "zero_hashes_int",
     "poseidon_hash",
     "poseidon_hash1",
     "poseidon_hash2",

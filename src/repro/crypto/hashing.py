@@ -13,19 +13,37 @@ Both backends expose the same arity-1/arity-2 API, so every layer above
 (Merkle trees, nullifiers, Shamir coefficient derivation) is
 backend-independent. Tests assert that the protocol state machine
 produces identical *decisions* under either backend.
+
+Int-native fast path
+--------------------
+
+The hot loops (Merkle path rehashing, signal verification) spend most of
+their time hashing, and most of *that* used to be :class:`Fr` object
+churn: wrap, re-reduce, ``to_bytes``, unwrap. Each backend therefore
+also registers an int-native pair — :func:`hash1_int` / :func:`hash2_int`
+take and return canonical integers in ``[0, MODULUS)`` with no ``Fr``
+allocation anywhere inside. The ``Fr``-typed :func:`hash1` / :func:`hash2`
+are thin wrappers over the int path and bit-identical to the historical
+implementations.
+
+Every call through the int entry points bumps a process-wide counter
+(:func:`hash_call_count`), which benchmarks use to report network-wide
+hash work.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, Sequence, Tuple
 
 from ..errors import FieldError
 from .field import Fr
-from .poseidon import poseidon_hash
+from .poseidon import poseidon_hash, poseidon_hash1_int, poseidon_hash2_int
 
 #: Signature shared by all field-hash backends.
 FieldHash = Callable[[Sequence[Fr]], Fr]
+
+_MODULUS = Fr.MODULUS
 
 
 def blake2b_field_hash(inputs: Sequence[Fr]) -> Fr:
@@ -39,12 +57,38 @@ def blake2b_field_hash(inputs: Sequence[Fr]) -> Fr:
     return Fr.reduce_bytes(hasher.digest())
 
 
+def blake2b_hash1_int(x: int) -> int:
+    """Int-native arity-1 BLAKE2b field hash (same digest as the Fr API)."""
+    hasher = hashlib.blake2b(digest_size=32, person=b"repro-fr\x01")
+    hasher.update(x.to_bytes(32, "big"))
+    return int.from_bytes(hasher.digest(), "big") % _MODULUS
+
+
+def blake2b_hash2_int(x: int, y: int) -> int:
+    """Int-native arity-2 BLAKE2b field hash (same digest as the Fr API)."""
+    hasher = hashlib.blake2b(digest_size=32, person=b"repro-fr\x02")
+    hasher.update(x.to_bytes(32, "big"))
+    hasher.update(y.to_bytes(32, "big"))
+    return int.from_bytes(hasher.digest(), "big") % _MODULUS
+
+
 _BACKENDS: Dict[str, FieldHash] = {
     "poseidon": poseidon_hash,
     "blake2b": blake2b_field_hash,
 }
 
+#: backend name -> (arity-1, arity-2) int-native implementations.
+_INT_BACKENDS: Dict[str, Tuple[Callable[[int], int], Callable[[int, int], int]]] = {
+    "poseidon": (poseidon_hash1_int, poseidon_hash2_int),
+    "blake2b": (blake2b_hash1_int, blake2b_hash2_int),
+}
+
 _active_backend_name = "blake2b"
+_active_hash1_int = blake2b_hash1_int
+_active_hash2_int = blake2b_hash2_int
+
+#: Process-wide count of field-hash invocations (benchmark probe).
+_hash_calls = 0
 
 
 def available_backends() -> tuple:
@@ -56,14 +100,18 @@ def set_hash_backend(name: str) -> None:
     """Select the process-wide field-hash backend.
 
     Changing backends invalidates previously computed commitments and
-    tree roots, so switch only at the start of a simulation.
+    tree roots, so switch only at the start of a simulation. Caches
+    keyed by the backend name (the zero-hash table, the external
+    nullifier memo) need no flush — their entries are per-backend.
     """
-    global _active_backend_name
-    if name not in _BACKENDS:
+    global _active_backend_name, _active_hash1_int, _active_hash2_int
+    if name not in _BACKENDS or name not in _INT_BACKENDS:
         raise FieldError(
-            f"unknown hash backend {name!r}; available: {available_backends()}"
+            f"unknown hash backend {name!r} (backends register in both "
+            f"_BACKENDS and _INT_BACKENDS); available: {available_backends()}"
         )
     _active_backend_name = name
+    _active_hash1_int, _active_hash2_int = _INT_BACKENDS[name]
 
 
 def get_hash_backend() -> str:
@@ -71,14 +119,44 @@ def get_hash_backend() -> str:
     return _active_backend_name
 
 
+def hash_call_count() -> int:
+    """Total field-hash invocations in this process (monotonic).
+
+    Benchmarks diff this around a workload to report how much hashing
+    the network really performed — the shared membership store's
+    headline number is measured with it.
+    """
+    return _hash_calls
+
+
+def hash1_int(x: int) -> int:
+    """Int-native arity-1 field hash under the active backend.
+
+    ``x`` must be a canonical integer in ``[0, MODULUS)``.
+    """
+    global _hash_calls
+    _hash_calls += 1
+    return _active_hash1_int(x)
+
+
+def hash2_int(x: int, y: int) -> int:
+    """Int-native arity-2 field hash under the active backend.
+
+    Inputs must be canonical integers in ``[0, MODULUS)``.
+    """
+    global _hash_calls
+    _hash_calls += 1
+    return _active_hash2_int(x, y)
+
+
 def hash1(x: Fr) -> Fr:
     """Domain-separated arity-1 field hash under the active backend."""
-    return _BACKENDS[_active_backend_name]([Fr(x)])
+    return Fr(hash1_int(Fr(x)._value))
 
 
 def hash2(x: Fr, y: Fr) -> Fr:
     """Domain-separated arity-2 field hash under the active backend."""
-    return _BACKENDS[_active_backend_name]([Fr(x), Fr(y)])
+    return Fr(hash2_int(Fr(x)._value, Fr(y)._value))
 
 
 def hash_bytes_to_field(data: bytes, domain: str = "msg") -> Fr:

@@ -7,21 +7,53 @@ defaulted to a precomputed zero-subtree hash). It supports:
 * append-only insertion of identity commitments (leaves),
 * leaf overwrite (member deletion sets the leaf back to zero),
 * authentication-path extraction for any leaf (needed by provers),
-* root queries and proof verification.
+* root queries and proof verification,
+* O(1) commitment-to-index lookup (``find_leaf``).
+
+Internally the tree is int-native: nodes are canonical integers hashed
+through :func:`repro.crypto.hashing.hash2_int`, so a depth-20 path
+update allocates no :class:`Fr` objects. The public API still speaks
+``Fr``.
 
 The storage-optimized variant from reference [9] of the paper lives in
-:mod:`repro.crypto.merkle_optimized`; both produce identical roots, which
-a property test asserts.
+:mod:`repro.crypto.merkle_optimized`, and the shared copy-on-write
+store (one canonical tree per deployment domain) in
+:mod:`repro.crypto.merkle_shared`; all produce identical roots, which
+property tests assert.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import MerkleError
 from .field import Fr
-from .hashing import hash2
+from .hashing import get_hash_backend, hash2_int
+
+#: (backend name, depth) -> immutable zero-subtree digest table. Keyed
+#: by backend so :func:`repro.crypto.hashing.set_hash_backend` needs no
+#: explicit invalidation hook — a switched backend simply misses into
+#: its own entries.
+_ZERO_CACHE: Dict[Tuple[str, int], Tuple[int, ...]] = {}
+
+
+def zero_hashes_int(depth: int) -> Tuple[int, ...]:
+    """Int-native zero-subtree digests, cached per active hash backend.
+
+    Every tree of a given depth shares one immutable table; before this
+    cache the table was recomputed for every tree, i.e. once per
+    peer x topic at network build time.
+    """
+    key = (get_hash_backend(), depth)
+    cached = _ZERO_CACHE.get(key)
+    if cached is None:
+        zeros = [0]
+        for _ in range(depth):
+            zeros.append(hash2_int(zeros[-1], zeros[-1]))
+        cached = _ZERO_CACHE[key] = tuple(zeros)
+    return cached
 
 
 def zero_hashes(depth: int) -> List[Fr]:
@@ -29,10 +61,7 @@ def zero_hashes(depth: int) -> List[Fr]:
 
     ``z[i]`` is the root of an empty subtree of height ``i``.
     """
-    zeros = [Fr.zero()]
-    for _ in range(depth):
-        zeros.append(hash2(zeros[-1], zeros[-1]))
-    return zeros
+    return [Fr(z) for z in zero_hashes_int(depth)]
 
 
 @dataclass(frozen=True)
@@ -55,13 +84,14 @@ class MerkleProof:
 
     def compute_root(self) -> Fr:
         """Fold the path back up to the root."""
-        node = self.leaf
+        node = Fr(self.leaf)._value
         for bit, sibling in zip(self.path_bits, self.siblings):
+            other = Fr(sibling)._value
             if bit:
-                node = hash2(sibling, node)
+                node = hash2_int(other, node)
             else:
-                node = hash2(node, sibling)
-        return node
+                node = hash2_int(node, other)
+        return Fr(node)
 
     def verify(self, root: Fr) -> bool:
         """Check this path authenticates ``leaf`` under ``root``."""
@@ -82,19 +112,22 @@ class MerkleTree:
             raise MerkleError("tree depth must be at least 1")
         self.depth = depth
         self.capacity = 1 << depth
-        self._zeros = zero_hashes(depth)
-        self._nodes: Dict[Tuple[int, int], Fr] = {}
+        self._zeros = zero_hashes_int(depth)
+        self._nodes: Dict[Tuple[int, int], int] = {}
         self._next_index = 0
+        #: leaf value -> ascending indices currently holding it; keeps
+        #: ``find_leaf`` O(1) instead of a linear scan over members.
+        self._leaf_slots: Dict[int, List[int]] = {}
 
     # -- node access --------------------------------------------------------
 
-    def _get_node(self, height: int, index: int) -> Fr:
+    def _get_node(self, height: int, index: int) -> int:
         return self._nodes.get((height, index), self._zeros[height])
 
     @property
     def root(self) -> Fr:
         """Digest of the whole tree."""
-        return self._get_node(self.depth, 0)
+        return Fr(self._get_node(self.depth, 0))
 
     @property
     def leaf_count(self) -> int:
@@ -104,7 +137,7 @@ class MerkleTree:
     def leaf(self, index: int) -> Fr:
         """Current value of leaf ``index`` (zero if never set / deleted)."""
         self._check_index(index)
-        return self._get_node(0, index)
+        return Fr(self._get_node(0, index))
 
     def _check_index(self, index: int) -> None:
         if not 0 <= index < self.capacity:
@@ -119,7 +152,9 @@ class MerkleTree:
         if self._next_index >= self.capacity:
             raise MerkleError(f"tree is full ({self.capacity} leaves)")
         index = self._next_index
-        self._set_leaf(index, leaf)
+        value = Fr(leaf)._value
+        self._index_leaf(value, index)
+        self._set_leaf(index, value)
         self._next_index += 1
         return index
 
@@ -136,6 +171,9 @@ class MerkleTree:
         other._zeros = self._zeros
         other._nodes = dict(self._nodes)
         other._next_index = self._next_index
+        other._leaf_slots = {
+            value: list(slots) for value, slots in self._leaf_slots.items()
+        }
         return other
 
     def update(self, index: int, leaf: Fr) -> None:
@@ -143,20 +181,58 @@ class MerkleTree:
         self._check_index(index)
         if index >= self._next_index:
             raise MerkleError(f"leaf {index} has not been inserted yet")
-        self._set_leaf(index, leaf)
+        value = Fr(leaf)._value
+        old = self._get_node(0, index)
+        if old != value:
+            self._unindex_leaf(old, index)
+            self._index_leaf(value, index)
+        self._set_leaf(index, value)
 
     def delete(self, index: int) -> None:
         """Reset slot ``index`` to the zero leaf."""
         self.update(index, Fr.zero())
 
-    def _set_leaf(self, index: int, leaf: Fr) -> None:
-        self._nodes[(0, index)] = Fr(leaf)
+    # For an *independent* replica there is no shared structure to
+    # protect, so membership events from the synced log are plain
+    # mutations; the aliases keep LocalGroup agnostic of its tree type
+    # (SharedMerkleView distinguishes the two paths).
+    synced_insert = insert
+    synced_update = update
+
+    def _index_leaf(self, value: int, index: int) -> None:
+        slots = self._leaf_slots.get(value)
+        if slots is None:
+            self._leaf_slots[value] = [index]
+        else:
+            insort(slots, index)
+
+    def _unindex_leaf(self, value: int, index: int) -> None:
+        slots = self._leaf_slots.get(value)
+        if slots is None:
+            return
+        try:
+            slots.remove(index)
+        except ValueError:
+            return
+        if not slots:
+            del self._leaf_slots[value]
+
+    def _set_leaf(self, index: int, value: int) -> None:
+        nodes = self._nodes
+        zeros = self._zeros
+        nodes[(0, index)] = value
+        node = value
         node_index = index
         for height in range(1, self.depth + 1):
-            node_index //= 2
-            left = self._get_node(height - 1, 2 * node_index)
-            right = self._get_node(height - 1, 2 * node_index + 1)
-            self._nodes[(height, node_index)] = hash2(left, right)
+            sibling = nodes.get(
+                (height - 1, node_index ^ 1), zeros[height - 1]
+            )
+            if node_index & 1:
+                node = hash2_int(sibling, node)
+            else:
+                node = hash2_int(node, sibling)
+            node_index >>= 1
+            nodes[(height, node_index)] = node
 
     # -- proofs -----------------------------------------------------------------
 
@@ -167,11 +243,9 @@ class MerkleTree:
         bits: List[int] = []
         node_index = index
         for height in range(self.depth):
-            bit = node_index & 1
-            sibling_index = node_index ^ 1
-            siblings.append(self._get_node(height, sibling_index))
-            bits.append(bit)
-            node_index //= 2
+            bits.append(node_index & 1)
+            siblings.append(Fr(self._get_node(height, node_index ^ 1)))
+            node_index >>= 1
         return MerkleProof(
             leaf=self.leaf(index),
             leaf_index=index,
@@ -198,8 +272,5 @@ class MerkleTree:
 
     def find_leaf(self, leaf: Fr) -> Optional[int]:
         """Index of the first occurrence of ``leaf`` among assigned slots."""
-        target = Fr(leaf)
-        for i in range(self._next_index):
-            if self.leaf(i) == target:
-                return i
-        return None
+        slots = self._leaf_slots.get(Fr(leaf)._value)
+        return slots[0] if slots else None

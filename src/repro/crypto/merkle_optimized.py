@@ -23,8 +23,8 @@ from typing import List
 
 from ..errors import MerkleError
 from .field import Fr
-from .hashing import hash2
-from .merkle import zero_hashes
+from .hashing import hash2_int
+from .merkle import zero_hashes_int
 
 
 class FrontierMerkleTree:
@@ -35,16 +35,16 @@ class FrontierMerkleTree:
             raise MerkleError("tree depth must be at least 1")
         self.depth = depth
         self.capacity = 1 << depth
-        self._zeros = zero_hashes(depth)
+        self._zeros = zero_hashes_int(depth)
         #: ``_frontier[h]`` caches the last *left* node seen at height h.
-        self._frontier: List[Fr] = [Fr.zero()] * depth
+        self._frontier: List[int] = [0] * depth
         self._next_index = 0
         self._root = self._zeros[depth]
 
     @property
     def root(self) -> Fr:
         """Digest of the whole tree."""
-        return self._root
+        return Fr(self._root)
 
     @property
     def leaf_count(self) -> int:
@@ -55,14 +55,14 @@ class FrontierMerkleTree:
         if self._next_index >= self.capacity:
             raise MerkleError(f"tree is full ({self.capacity} leaves)")
         index = self._next_index
-        node = Fr(leaf)
+        node = Fr(leaf)._value
         node_index = index
         for height in range(self.depth):
             if node_index & 1:
-                node = hash2(self._frontier[height], node)
+                node = hash2_int(self._frontier[height], node)
             else:
                 self._frontier[height] = node
-                node = hash2(node, self._zeros[height])
+                node = hash2_int(node, self._zeros[height])
             node_index //= 2
         self._root = node
         self._next_index += 1

@@ -1,0 +1,491 @@
+"""Shared copy-on-write membership tree.
+
+The paper has every peer maintain the Merkle tree locally ("Group
+Synchronization", Section III). Read literally, a network of N replicas
+pays N x O(depth) hashes for every membership event, even though group
+sync is deterministic: every honest replica that applied the same event
+prefix holds byte-identical state. This module exploits that determinism
+without giving up per-replica isolation:
+
+:class:`CanonicalMerkleTree`
+    One per (deployment, domain). Holds the *head* state as an
+    int-native node dict plus, per applied event, the event itself, the
+    resulting root and leaf count, and a per-node undo journal
+    ``(version, previous value)``. Any historical version therefore
+    stays readable — lagging replicas read through the journal — and a
+    replica can fork off the exact version it sits at.
+
+:class:`SharedMerkleView`
+    A :class:`~repro.crypto.merkle.MerkleTree`-compatible facade held by
+    one replica. A membership event applied through a view either
+
+    * advances the canonical head — the **first** replica to apply it
+      pays the O(depth) hashes, once network-wide;
+    * matches the event already recorded at the view's version — every
+      later replica advances a pointer, **zero** hashing;
+    * diverges from the recorded event — the view *forks*: from then on
+      it materialises private nodes in an overlay on top of the frozen
+      canonical snapshot at its fork version. The canonical tree and
+      sibling views never observe a fork's writes, and the fork never
+      observes canonical events applied after its fork point.
+
+Matching events by value is sound because a view is only attached while
+its state equals the canonical state at its version; identical
+operations applied to identical states produce identical trees, so a
+matching event *is* the proof that pointer-advancing reproduces what
+local hashing would have computed. The equivalence property tests in
+``tests/rln/test_membership_store.py`` assert exactly that, under
+random interleavings of registrations, slashes, replication and forced
+forks.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import MerkleError
+from .field import Fr
+from .hashing import hash2_int
+from .merkle import MerkleProof, zero_hashes_int
+
+#: Event records: ("insert", leaf) appends, ("set", index, leaf)
+#: overwrites (slashing writes leaf = 0).
+Event = Tuple
+
+
+class CanonicalMerkleTree:
+    """The one copy of a membership tree a whole deployment shares.
+
+    Mutation happens only through :meth:`apply`, called by the single
+    attached view that is first to reach a new membership event; every
+    state the tree has ever been in remains addressable by version
+    (``version`` = number of events applied).
+
+    History (events, roots, undo journal, leaf history) is retained for
+    the process lifetime — O(depth) small tuples per event, a few MB
+    per domain even at 5k-peer scale. Views never deregister, so there
+    is no safe prune point; if that ever binds, cap retention to the
+    laggiest attached version (verification only ever consults the
+    root window).
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise MerkleError("tree depth must be at least 1")
+        self.depth = depth
+        self.capacity = 1 << depth
+        self._zeros = zero_hashes_int(depth)
+        #: Head state; (height, index) -> digest.
+        self._nodes: Dict[Tuple[int, int], int] = {}
+        #: (height, index) -> [(version, value *before* that version)],
+        #: ascending. node_at() binary-searches this for old versions.
+        self._journal: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        self._events: List[Event] = []
+        #: _roots[v] / _leaf_counts[v] = state after the first v events.
+        self._roots: List[int] = [self._zeros[depth]]
+        self._leaf_counts: List[int] = [0]
+        #: leaf value -> [(index, version at which it was written)];
+        #: the versioned commitment->index map behind find_leaf_at().
+        self._leaf_history: Dict[int, List[Tuple[int, int]]] = {}
+        #: Events replayed by later replicas without hashing (stat).
+        self.events_deduped = 0
+        #: Views that diverged and went private (stat).
+        self.forks = 0
+
+    # -- head bookkeeping ---------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Number of membership events applied to the head."""
+        return len(self._events)
+
+    def event_at(self, version: int) -> Event:
+        """The event that moved the head from ``version`` to ``version+1``."""
+        return self._events[version]
+
+    def root_at(self, version: int) -> int:
+        return self._roots[version]
+
+    def leaf_count_at(self, version: int) -> int:
+        return self._leaf_counts[version]
+
+    def apply(self, event: Event) -> Optional[int]:
+        """Apply one event at the head; returns the index for inserts.
+
+        Bounds (capacity, assigned-slot) are validated by the calling
+        view before the event is built, so the head state is never
+        half-mutated by a rejected event.
+        """
+        new_version = len(self._events) + 1
+        count = self._leaf_counts[-1]
+        if event[0] == "insert":
+            index, value = count, event[1]
+            count += 1
+        else:
+            _, index, value = event
+        root = self._write_path(index, value, new_version)
+        self._events.append(event)
+        self._roots.append(root)
+        self._leaf_counts.append(count)
+        self._leaf_history.setdefault(value, []).append(
+            (index, new_version)
+        )
+        return index if event[0] == "insert" else None
+
+    def _write_path(self, index: int, value: int, new_version: int) -> int:
+        """Rehash the path above leaf ``index``; returns the new root.
+
+        The fold (sibling order, zero defaults) must stay in lockstep
+        with ``MerkleTree._set_leaf`` and ``SharedMerkleView.
+        _write_private`` — the loop is deliberately inlined in each
+        (it is the hottest path in the process), and the shared-vs-
+        independent property suite pins their equivalence.
+        """
+        nodes, zeros, journal = self._nodes, self._zeros, self._journal
+        key = (0, index)
+        journal.setdefault(key, []).append(
+            (new_version, nodes.get(key, 0))
+        )
+        nodes[key] = value
+        node = value
+        node_index = index
+        for height in range(1, self.depth + 1):
+            sibling = nodes.get(
+                (height - 1, node_index ^ 1), zeros[height - 1]
+            )
+            if node_index & 1:
+                node = hash2_int(sibling, node)
+            else:
+                node = hash2_int(node, sibling)
+            node_index >>= 1
+            key = (height, node_index)
+            journal.setdefault(key, []).append(
+                (new_version, nodes.get(key, zeros[height]))
+            )
+            nodes[key] = node
+        return node
+
+    # -- versioned reads -----------------------------------------------------
+
+    def node_at(self, height: int, index: int, version: int) -> int:
+        """Digest of node ``(height, index)`` as of ``version``."""
+        key = (height, index)
+        if version < len(self._events):
+            entries = self._journal.get(key)
+            if entries:
+                # First journal entry strictly after `version` recorded
+                # the value this snapshot still sees.
+                lo, hi = 0, len(entries)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if entries[mid][0] <= version:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                if lo < len(entries):
+                    return entries[lo][1]
+        return self._nodes.get(key, self._zeros[height])
+
+    def find_leaf_at(self, value: int, version: int) -> Optional[int]:
+        """Lowest index holding ``value`` as of ``version`` (or None)."""
+        best: Optional[int] = None
+        for index, written in self._leaf_history.get(value, ()):
+            if written <= version and (best is None or index < best):
+                if self.node_at(0, index, version) == value:
+                    best = index
+        return best
+
+    def leaf_slots_at(self, version: int) -> Dict[int, List[int]]:
+        """value -> ascending indices snapshot (fork bootstrap).
+
+        O(members) — paid only when a view diverges, which is the rare
+        case the copy-on-write design optimises for.
+        """
+        slots: Dict[int, List[int]] = {}
+        for index in range(self._leaf_counts[version]):
+            slots.setdefault(self.node_at(0, index, version), []).append(
+                index
+            )
+        return slots
+
+    def storage_bytes(self) -> int:
+        """Bytes of the shared head node store (32 B per node)."""
+        return 32 * len(self._nodes)
+
+
+class SharedMerkleView:
+    """One replica's view of a :class:`CanonicalMerkleTree`.
+
+    Drop-in for :class:`~repro.crypto.merkle.MerkleTree` wherever a
+    :class:`~repro.rln.membership.LocalGroup` needs a tree: the same
+    mutation, query, proof and clone surface, with structural sharing
+    underneath until the replica diverges.
+    """
+
+    def __init__(
+        self, canonical: CanonicalMerkleTree, version: int = 0
+    ) -> None:
+        self._canon = canonical
+        self.depth = canonical.depth
+        self.capacity = canonical.capacity
+        self._zeros = canonical._zeros
+        self._version = version
+        self._forked = False
+        # Populated on fork:
+        self._fork_version = 0
+        self._overlay: Optional[Dict[Tuple[int, int], int]] = None
+        self._private_count = 0
+        self._leaf_slots: Optional[Dict[int, List[int]]] = None
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def is_forked(self) -> bool:
+        """True once this replica diverged and went private."""
+        return self._forked
+
+    @property
+    def version(self) -> int:
+        """Canonical version this view has applied (fork point if forked)."""
+        return self._fork_version if self._forked else self._version
+
+    def _node(self, height: int, index: int) -> int:
+        if self._forked:
+            value = self._overlay.get((height, index))
+            if value is not None:
+                return value
+            return self._canon.node_at(height, index, self._fork_version)
+        return self._canon.node_at(height, index, self._version)
+
+    @property
+    def root(self) -> Fr:
+        if self._forked:
+            return Fr(self._node(self.depth, 0))
+        return Fr(self._canon.root_at(self._version))
+
+    @property
+    def leaf_count(self) -> int:
+        if self._forked:
+            return self._private_count
+        return self._canon.leaf_count_at(self._version)
+
+    def leaf(self, index: int) -> Fr:
+        self._check_index(index)
+        return Fr(self._node(0, index))
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.capacity:
+            raise MerkleError(
+                f"leaf index {index} out of range for depth-{self.depth} tree"
+            )
+
+    # -- synced mutation (group-sync authority) --------------------------------
+
+    def synced_insert(self, leaf: Fr) -> int:
+        """Append ``leaf`` as a *membership event* from the synced log.
+
+        Only this path may advance the canonical head: the contract
+        event log is the deployment's one source of truth, so the first
+        replica to apply an event records it (and pays the hashing) for
+        everyone. Later replicas advance a pointer; a replica whose
+        event disagrees with the recorded one is on a different log and
+        forks.
+        """
+        if self.leaf_count >= self.capacity:
+            raise MerkleError(f"tree is full ({self.capacity} leaves)")
+        value = Fr(leaf)._value
+        if not self._forked:
+            canon = self._canon
+            if self._version == canon.version:
+                index = canon.apply(("insert", value))
+                self._version += 1
+                return index
+            if canon.event_at(self._version) == ("insert", value):
+                index = canon.leaf_count_at(self._version)
+                self._version += 1
+                canon.events_deduped += 1
+                return index
+            self._fork()
+        return self._insert_private(value)
+
+    def synced_update(self, index: int, leaf: Fr) -> None:
+        """Overwrite slot ``index`` as a membership event (slash = zero).
+
+        Same head/dedup/fork contract as :meth:`synced_insert`.
+        """
+        self._check_index(index)
+        if index >= self.leaf_count:
+            raise MerkleError(f"leaf {index} has not been inserted yet")
+        value = Fr(leaf)._value
+        if not self._forked:
+            canon = self._canon
+            event = ("set", index, value)
+            if self._version == canon.version:
+                canon.apply(event)
+                self._version += 1
+                return
+            if canon.event_at(self._version) == event:
+                self._version += 1
+                canon.events_deduped += 1
+                return
+            self._fork()
+        self._set_private(index, value)
+
+    # -- out-of-band mutation --------------------------------------------------
+
+    def insert(self, leaf: Fr) -> int:
+        """Append ``leaf`` outside the synced event log.
+
+        An out-of-band mutation means this replica no longer follows
+        the deployment's log (adversarial desync, test manipulation),
+        so the view forks *even at the head* — it must never push
+        private state into the canonical tree that every honest replica
+        would then mismatch against.
+        """
+        if self.leaf_count >= self.capacity:
+            raise MerkleError(f"tree is full ({self.capacity} leaves)")
+        if not self._forked:
+            self._fork()
+        return self._insert_private(Fr(leaf)._value)
+
+    def update(self, index: int, leaf: Fr) -> None:
+        """Overwrite an assigned slot outside the synced event log."""
+        self._check_index(index)
+        if index >= self.leaf_count:
+            raise MerkleError(f"leaf {index} has not been inserted yet")
+        if not self._forked:
+            self._fork()
+        self._set_private(index, Fr(leaf)._value)
+
+    def delete(self, index: int) -> None:
+        self.update(index, Fr.zero())
+
+    def _insert_private(self, value: int) -> int:
+        index = self._private_count
+        self._index_private(value, index)
+        self._write_private(index, value)
+        self._private_count = index + 1
+        return index
+
+    def _set_private(self, index: int, value: int) -> None:
+        old = self._node(0, index)
+        if old != value:
+            self._unindex_private(old, index)
+            self._index_private(value, index)
+        self._write_private(index, value)
+
+    # -- fork (the copy-on-write event) ---------------------------------------
+
+    def _fork(self) -> None:
+        """Detach: freeze the canonical snapshot, go private.
+
+        From here every mutation writes into a private overlay; reads
+        fall through to the canonical state *as of the fork version*,
+        which the undo journal keeps addressable forever.
+        """
+        canon = self._canon
+        self._fork_version = self._version
+        self._overlay = {}
+        self._private_count = canon.leaf_count_at(self._version)
+        self._leaf_slots = canon.leaf_slots_at(self._version)
+        self._forked = True
+        canon.forks += 1
+
+    def _index_private(self, value: int, index: int) -> None:
+        slots = self._leaf_slots.get(value)
+        if slots is None:
+            self._leaf_slots[value] = [index]
+        else:
+            insort(slots, index)
+
+    def _unindex_private(self, value: int, index: int) -> None:
+        slots = self._leaf_slots.get(value)
+        if slots is None:
+            return
+        try:
+            slots.remove(index)
+        except ValueError:
+            return
+        if not slots:
+            del self._leaf_slots[value]
+
+    def _write_private(self, index: int, value: int) -> None:
+        overlay = self._overlay
+        overlay[(0, index)] = value
+        node = value
+        node_index = index
+        for height in range(1, self.depth + 1):
+            sibling = self._node(height - 1, node_index ^ 1)
+            if node_index & 1:
+                node = hash2_int(sibling, node)
+            else:
+                node = hash2_int(node, sibling)
+            node_index >>= 1
+            overlay[(height, node_index)] = node
+
+    # -- queries / proofs ------------------------------------------------------
+
+    def find_leaf(self, leaf: Fr) -> Optional[int]:
+        """First index holding ``leaf`` (O(1)-ish: versioned index map)."""
+        value = Fr(leaf)._value
+        if self._forked:
+            slots = self._leaf_slots.get(value)
+            return slots[0] if slots else None
+        return self._canon.find_leaf_at(value, self._version)
+
+    def proof(self, index: int) -> MerkleProof:
+        """Authentication path for leaf ``index`` at this view's state."""
+        self._check_index(index)
+        siblings: List[Fr] = []
+        bits: List[int] = []
+        node_index = index
+        for height in range(self.depth):
+            bits.append(node_index & 1)
+            siblings.append(Fr(self._node(height, node_index ^ 1)))
+            node_index >>= 1
+        return MerkleProof(
+            leaf=self.leaf(index),
+            leaf_index=index,
+            siblings=tuple(siblings),
+            path_bits=tuple(bits),
+        )
+
+    def leaves(self) -> List[Fr]:
+        return [self.leaf(i) for i in range(self.leaf_count)]
+
+    def clone(self) -> "SharedMerkleView":
+        """A sibling view of the same state.
+
+        O(1) while attached (both views share the canonical structure);
+        a forked view copies its private overlay so the clone is fully
+        isolated from further mutation of either side.
+        """
+        other = SharedMerkleView(self._canon, self._version)
+        if self._forked:
+            other._forked = True
+            other._fork_version = self._fork_version
+            other._overlay = dict(self._overlay)
+            other._private_count = self._private_count
+            other._leaf_slots = {
+                value: list(slots)
+                for value, slots in self._leaf_slots.items()
+            }
+        return other
+
+    # -- storage accounting ----------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        """Bytes *this view* stores privately.
+
+        Attached views share all structure with the canonical tree (see
+        :meth:`CanonicalMerkleTree.storage_bytes` for the shared cost);
+        forked views pay for their overlay.
+        """
+        if self._forked:
+            return 32 * len(self._overlay)
+        return 0
+
+    def full_storage_bytes(self) -> int:
+        """Same formula as :meth:`MerkleTree.full_storage_bytes`."""
+        return 32 * ((1 << (self.depth + 1)) - 1)

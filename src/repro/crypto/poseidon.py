@@ -115,18 +115,38 @@ def poseidon_parameters(t: int) -> PoseidonParameters:
     )
 
 
+@lru_cache(maxsize=None)
+def poseidon_parameters_int(
+    t: int,
+) -> Tuple[Tuple[int, ...], Tuple[Tuple[int, ...], ...]]:
+    """Integer-form ``(round_constants, mds)`` for state width ``t``.
+
+    The permutation works on plain integers; re-deriving these from the
+    :class:`Fr`-typed :class:`PoseidonParameters` on every call used to
+    dominate the hash cost, so they are cached once per width here.
+    """
+    params = poseidon_parameters(t)
+    constants = tuple(int(c) for c in params.round_constants)
+    mds = tuple(tuple(int(c) for c in row) for row in params.mds)
+    return constants, mds
+
+
 def _sbox(x: Fr) -> Fr:
     return x ** _SBOX_EXPONENT
 
 
-def poseidon_permutation(state: Sequence[Fr]) -> List[Fr]:
-    """Apply the Poseidon permutation to ``state`` (length = t)."""
+def poseidon_permutation_int(state: Sequence[int]) -> List[int]:
+    """Int-native Poseidon permutation (length of ``state`` = t).
+
+    Inputs must already be reduced modulo the field prime; outputs are
+    canonical integers. This is the hot path — no :class:`Fr` objects
+    are created anywhere inside.
+    """
     t = len(state)
     params = poseidon_parameters(t)
+    constants, mds_int = poseidon_parameters_int(t)
     modulus = Fr.MODULUS
-    values = [int(x) for x in state]
-    constants = params.round_constants
-    mds_int = [[int(c) for c in row] for row in params.mds]
+    values = list(state)
 
     half_full = params.full_rounds // 2
     partial_start = half_full
@@ -135,7 +155,7 @@ def poseidon_permutation(state: Sequence[Fr]) -> List[Fr]:
     for round_index in range(params.total_rounds):
         base = round_index * t
         for i in range(t):
-            values[i] = (values[i] + int(constants[base + i])) % modulus
+            values[i] = (values[i] + constants[base + i]) % modulus
         if partial_start <= round_index < partial_end:
             values[0] = pow(values[0], _SBOX_EXPONENT, modulus)
         else:
@@ -144,7 +164,25 @@ def poseidon_permutation(state: Sequence[Fr]) -> List[Fr]:
             sum(mds_int[i][j] * values[j] for j in range(t)) % modulus
             for i in range(t)
         ]
-    return [Fr(v) for v in values]
+    return values
+
+
+def poseidon_permutation(state: Sequence[Fr]) -> List[Fr]:
+    """Apply the Poseidon permutation to ``state`` (length = t)."""
+    return [
+        Fr(v)
+        for v in poseidon_permutation_int([int(Fr(x)) for x in state])
+    ]
+
+
+def poseidon_hash1_int(x: int) -> int:
+    """Int-native single-input Poseidon hash."""
+    return poseidon_permutation_int([1, x])[0]
+
+
+def poseidon_hash2_int(x: int, y: int) -> int:
+    """Int-native two-input Poseidon hash."""
+    return poseidon_permutation_int([2, x, y])[0]
 
 
 def poseidon_hash(inputs: Sequence[Fr]) -> Fr:
@@ -157,9 +195,8 @@ def poseidon_hash(inputs: Sequence[Fr]) -> Fr:
     n = len(inputs)
     if n not in (1, 2):
         raise FieldError(f"poseidon_hash takes 1 or 2 inputs, got {n}")
-    domain_tag = Fr(n)
-    state = [domain_tag, *[Fr(x) for x in inputs]]
-    return poseidon_permutation(state)[0]
+    state = [n, *[int(Fr(x)) for x in inputs]]
+    return Fr(poseidon_permutation_int(state)[0])
 
 
 def poseidon_hash1(x: Fr) -> Fr:

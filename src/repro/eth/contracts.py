@@ -25,8 +25,8 @@ from ..constants import (
     DEFAULT_SLASH_BURN_FRACTION,
 )
 from ..crypto.field import Fr
-from ..crypto.hashing import hash1, hash2
-from ..crypto.merkle import zero_hashes
+from ..crypto.hashing import hash1, hash2_int
+from ..crypto.merkle import zero_hashes_int
 from .chain import Contract, TxContext
 
 
@@ -138,7 +138,7 @@ class OnChainTreeContract(MembershipContractBase):
         super().__init__(address, stake_wei, burn_fraction)
         self.depth = depth
         #: Precomputed in the contract bytecode — free to read.
-        self._zeros = [int(z) for z in zero_hashes(depth)]
+        self._zeros = list(zero_hashes_int(depth))
 
     def register(self, ctx: TxContext, pk: int) -> int:
         self._check_stake(ctx)
@@ -177,9 +177,9 @@ class OnChainTreeContract(MembershipContractBase):
                 sibling = self._zeros[height]
             ctx.poseidon()
             if node_index & 1:
-                node = int(hash2(Fr(sibling), Fr(node)))
+                node = hash2_int(sibling, node)
             else:
-                node = int(hash2(Fr(node), Fr(sibling)))
+                node = hash2_int(node, sibling)
             node_index //= 2
             ctx.sstore(("node", height + 1, node_index), node)
         ctx.sstore("root", node)

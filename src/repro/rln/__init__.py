@@ -1,7 +1,7 @@
 """Rate-Limiting Nullifier framework: signals, proofs, detection."""
 
 from .circuit import RLN_CIRCUIT_ID, RLN_PUBLIC_INPUTS, RlnStatement
-from .membership import DEFAULT_ROOT_WINDOW, LocalGroup
+from .membership import DEFAULT_ROOT_WINDOW, LocalGroup, MembershipStore
 from .nullifier import external_nullifier, internal_nullifier, line_coefficient
 from .prover import RlnProver, rln_keys
 from .signal import RlnSignal
@@ -13,6 +13,7 @@ __all__ = [
     "RLN_CIRCUIT_ID",
     "RLN_PUBLIC_INPUTS",
     "LocalGroup",
+    "MembershipStore",
     "DEFAULT_ROOT_WINDOW",
     "external_nullifier",
     "internal_nullifier",

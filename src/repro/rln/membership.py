@@ -14,27 +14,44 @@ already applied the ``k+1``-th membership event.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Optional
+from typing import Dict, List, Optional, Union
 
 from ..constants import DEFAULT_MERKLE_DEPTH
 from ..crypto.field import Fr
 from ..crypto.keys import IdentityCommitment
 from ..crypto.merkle import MerkleProof, MerkleTree
+from ..crypto.merkle_shared import CanonicalMerkleTree, SharedMerkleView
 from ..errors import MemberNotFoundError, SyncError
 
 #: How many historical roots a router accepts by default.
 DEFAULT_ROOT_WINDOW = 8
 
+#: Anything LocalGroup can use as its tree.
+MembershipTree = Union[MerkleTree, SharedMerkleView]
+
 
 class LocalGroup:
-    """A peer's local replica of the RLN membership tree."""
+    """A peer's local replica of the RLN membership tree.
+
+    ``tree`` selects the storage strategy: by default every replica
+    owns an independent :class:`MerkleTree` (the paper's literal
+    reading); a deployment running a :class:`MembershipStore` instead
+    hands each replica a :class:`SharedMerkleView` of the one canonical
+    copy-on-write tree, which makes a membership event cost O(depth)
+    hashes once network-wide instead of once per replica. Either way
+    the replica's observable behaviour is identical — the store's
+    property tests prove bit-equal roots, root windows and decisions.
+    """
 
     def __init__(
         self,
         depth: int = DEFAULT_MERKLE_DEPTH,
         root_window: int = DEFAULT_ROOT_WINDOW,
+        tree: Optional[MembershipTree] = None,
     ) -> None:
-        self.tree = MerkleTree(depth)
+        self.tree: MembershipTree = (
+            MerkleTree(depth) if tree is None else tree
+        )
         self.root_window = root_window
         self._recent_roots: "OrderedDict[Fr, None]" = OrderedDict()
         self._remember_root(self.tree.root)
@@ -72,7 +89,7 @@ class LocalGroup:
         canonical one, so a gap raises :class:`SyncError` instead.
         """
         self._check_sequence(event_index)
-        leaf_index = self.tree.insert(commitment.element)
+        leaf_index = self.tree.synced_insert(commitment.element)
         self.applied_events += 1
         self._remember_root(self.tree.root)
         return leaf_index
@@ -80,7 +97,7 @@ class LocalGroup:
     def apply_removal(self, leaf_index: int, event_index: int) -> None:
         """Apply a MemberRemoved (slashing) event."""
         self._check_sequence(event_index)
-        self.tree.delete(leaf_index)
+        self.tree.synced_update(leaf_index, Fr.zero())
         self.applied_events += 1
         self._remember_root(self.tree.root)
 
@@ -137,3 +154,64 @@ class LocalGroup:
 
     def storage_bytes(self) -> int:
         return self.tree.storage_bytes()
+
+
+class MembershipStore:
+    """Deployment-wide shared membership-tree store.
+
+    One :class:`~repro.crypto.merkle_shared.CanonicalMerkleTree` per
+    (deployment, domain); every replica created through
+    :meth:`local_group` holds a copy-on-write view of its domain's
+    canonical tree. The first replica to apply a membership event pays
+    the O(depth) hashing; every other replica's application of the same
+    event is a pointer advance (counted in ``events_deduped``), and a
+    replica that diverges forks into private storage without ever
+    touching its siblings (counted in ``forks``).
+
+    Toggled per deployment by ``ProtocolConfig.shared_membership_store``
+    in the same spirit as PR 3's ``batched_bookkeeping`` flag; with the
+    flag off, peers fall back to fully independent replicas.
+    """
+
+    def __init__(
+        self,
+        depth: int = DEFAULT_MERKLE_DEPTH,
+        root_window: int = DEFAULT_ROOT_WINDOW,
+    ) -> None:
+        self.depth = depth
+        self.root_window = root_window
+        self._canonicals: Dict[str, CanonicalMerkleTree] = {}
+
+    def canonical(self, domain: str = "") -> CanonicalMerkleTree:
+        """The canonical tree for ``domain`` (created on first use)."""
+        tree = self._canonicals.get(domain)
+        if tree is None:
+            tree = self._canonicals[domain] = CanonicalMerkleTree(
+                self.depth
+            )
+        return tree
+
+    def view(self, domain: str = "") -> SharedMerkleView:
+        """A fresh (empty, version-0) view of ``domain``'s tree."""
+        return SharedMerkleView(self.canonical(domain))
+
+    def local_group(self, domain: str = "") -> LocalGroup:
+        """A replica backed by the shared store."""
+        return LocalGroup(
+            self.depth, self.root_window, tree=self.view(domain)
+        )
+
+    @property
+    def domains(self) -> List[str]:
+        return sorted(self._canonicals)
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate sharing counters across all domains."""
+        canonicals = self._canonicals.values()
+        return {
+            "domains": len(self._canonicals),
+            "events": sum(c.version for c in canonicals),
+            "events_deduped": sum(c.events_deduped for c in canonicals),
+            "forks": sum(c.forks for c in canonicals),
+            "shared_bytes": sum(c.storage_bytes() for c in canonicals),
+        }

@@ -14,10 +14,20 @@ equal ``phi`` in one epoch constitute double-signaling.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional
 
 from ..crypto.field import Fr
-from ..crypto.hashing import hash1, hash2, hash_bytes_to_field
+from ..crypto.hashing import get_hash_backend, hash1, hash2, hash_bytes_to_field
+
+
+@lru_cache(maxsize=4096)
+def _external_nullifier_cached(backend: str, epoch: int, domain: str) -> Fr:
+    # Keyed by the active backend name so a backend switch never serves
+    # stale digests; Fr is immutable, so sharing the instance is safe.
+    return hash2(
+        hash_bytes_to_field(domain.encode(), "rln-domain"), Fr(epoch)
+    )
 
 
 def external_nullifier(epoch: int, domain: Optional[str] = None) -> Fr:
@@ -25,11 +35,13 @@ def external_nullifier(epoch: int, domain: Optional[str] = None) -> Fr:
 
     Without a domain this is just the epoch index embedded in the field,
     exactly as the paper specifies; with a domain it is
-    ``H(H(domain), epoch)``.
+    ``H(H(domain), epoch)``. Every router re-derives this for every
+    signal it checks, and (epoch, domain) pairs repeat heavily inside an
+    epoch, so the derivation is memoised per backend.
     """
     if domain is None:
         return Fr(epoch)
-    return hash2(hash_bytes_to_field(domain.encode(), "rln-domain"), Fr(epoch))
+    return _external_nullifier_cached(get_hash_backend(), epoch, domain)
 
 
 def line_coefficient(secret: Fr, ext_nullifier: Fr) -> Fr:

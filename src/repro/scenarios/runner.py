@@ -444,6 +444,16 @@ class ScenarioRunner:
             extras["verification_cache_hit_rate"] = (
                 net.verification_cache.hit_rate
             )
+        if net.membership_store is not None:
+            # How much replica hashing the shared store absorbed: each
+            # deduped event would have cost O(depth) hashes in an
+            # independent replica.
+            store_stats = net.membership_store.stats()
+            extras["membership_events"] = float(store_stats["events"])
+            extras["membership_events_deduped"] = float(
+                store_stats["events_deduped"]
+            )
+            extras["membership_forks"] = float(store_stats["forks"])
         if spec.compare_baseline:
             extras.update(self._run_baseline())
         topic_summary: Dict[str, Dict[str, float]] = {}

@@ -58,6 +58,51 @@ class TestFormatting:
         assert human_bytes(1_500) == "1.5 KB"
 
 
+class TestExperimentPayload:
+    def test_roundtrip_and_validation(self):
+        import json
+
+        from repro.analysis import (
+            experiment_payload,
+            validate_experiment_payload,
+        )
+
+        payload = experiment_payload(
+            "bench_x",
+            "Title",
+            ("mode", "seconds"),
+            [("fast", 1.5), ("slow", 3)],
+            note="n",
+            meta={"speedup": 2.0},
+        )
+        validate_experiment_payload(json.loads(json.dumps(payload)))
+
+    def test_rejects_malformed_payloads(self):
+        from repro.analysis import (
+            experiment_payload,
+            validate_experiment_payload,
+        )
+
+        good = experiment_payload("b", "t", ("h",), [(1,)])
+        for mutation in (
+            {"name": ""},
+            {"headers": []},
+            {"rows": [[1, 2]]},  # width mismatch
+            {"rows": [[object()]]},
+            {"schema_version": 999},
+            {"meta": {"k": [1, 2]}},
+        ):
+            bad = {**good, **mutation}
+            with pytest.raises(ValueError):
+                validate_experiment_payload(bad)
+
+    def test_rejects_non_scalar_cells_at_build(self):
+        from repro.analysis import experiment_payload
+
+        with pytest.raises(ValueError):
+            experiment_payload("b", "t", ("h",), [({"nested": 1},)])
+
+
 class TestRunnersProduceConsistentTables:
     """Each runner returns (headers, rows) with matching widths."""
 

@@ -50,3 +50,24 @@ def test_bench_quick_suite_runs():
         + proc.stdout[-4000:]
         + proc.stderr[-2000:]
     )
+
+
+def test_committed_benchmark_json_matches_schema():
+    """Every committed results/*.json must parse against the schema.
+
+    The JSON twins of the benchmark tables are the repo's perf
+    trajectory; this guards the committed artefacts themselves, while
+    ``record_table`` validates fresh payloads at write time.
+    """
+    import json
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.analysis import validate_experiment_payload
+
+    results = sorted((REPO_ROOT / "benchmarks" / "results").glob("*.json"))
+    assert results, "no committed benchmark JSON results found"
+    for path in results:
+        payload = json.loads(path.read_text())
+        validate_experiment_payload(payload)
+        assert payload["name"] == path.stem

@@ -42,6 +42,37 @@ class TestBackendRegistry:
         assert blake != poseidon_hash1(Fr(7))
 
 
+class TestIntNativeFastPath:
+    def test_int_path_matches_fr_path_blake2b(self):
+        from repro.crypto.hashing import hash1_int, hash2_int
+
+        assert hash1(Fr(7)) == Fr(hash1_int(7))
+        assert hash2(Fr(7), Fr(8)) == Fr(hash2_int(7, 8))
+
+    def test_int_path_matches_fr_path_poseidon(self, poseidon_backend):
+        from repro.crypto.hashing import hash1_int, hash2_int
+
+        assert hash1(Fr(7)) == Fr(hash1_int(7))
+        assert hash2(Fr(7), Fr(8)) == Fr(hash2_int(7, 8))
+
+    def test_int_path_follows_backend_switch(self):
+        from repro.crypto.hashing import hash2_int
+
+        blake = hash2_int(1, 2)
+        set_hash_backend("poseidon")
+        assert hash2_int(1, 2) != blake
+        set_hash_backend("blake2b")
+        assert hash2_int(1, 2) == blake
+
+    def test_hash_call_counter_is_monotonic(self):
+        from repro.crypto.hashing import hash2_int, hash_call_count
+
+        before = hash_call_count()
+        hash2_int(1, 2)
+        hash1(Fr(3))
+        assert hash_call_count() == before + 2
+
+
 class TestBlake2bFieldHash:
     def test_deterministic(self):
         assert blake2b_field_hash([Fr(1), Fr(2)]) == blake2b_field_hash(

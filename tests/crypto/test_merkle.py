@@ -25,6 +25,19 @@ class TestZeroHashes:
         assert zeros[1] == hash2(Fr.zero(), Fr.zero())
         assert zeros[2] == hash2(zeros[1], zeros[1])
 
+    def test_cached_per_backend(self):
+        from repro.crypto.hashing import set_hash_backend
+        from repro.crypto.merkle import zero_hashes_int
+
+        blake = zero_hashes_int(4)
+        assert zero_hashes_int(4) is blake  # same immutable table
+        set_hash_backend("poseidon")
+        poseidon = zero_hashes_int(4)
+        assert poseidon != blake  # backend-keyed, no stale reuse
+        assert zero_hashes_int(4) is poseidon
+        set_hash_backend("blake2b")
+        assert zero_hashes_int(4) is blake
+
 
 class TestMerkleTree:
     def test_empty_root_is_zero_subtree(self):
@@ -85,6 +98,38 @@ class TestMerkleTree:
         tree.insert(Fr(6))
         assert tree.find_leaf(Fr(6)) == 1
         assert tree.find_leaf(Fr(99)) is None
+
+    def test_find_leaf_first_occurrence_wins(self):
+        tree = MerkleTree(3)
+        tree.insert(Fr(7))
+        tree.insert(Fr(7))
+        assert tree.find_leaf(Fr(7)) == 0
+        tree.delete(0)
+        assert tree.find_leaf(Fr(7)) == 1
+        assert tree.find_leaf(Fr.zero()) == 0  # explicit zeroed slot
+
+    def test_find_leaf_tracks_updates(self):
+        tree = MerkleTree(3)
+        tree.insert(Fr(1))
+        tree.insert(Fr(2))
+        tree.update(0, Fr(3))
+        assert tree.find_leaf(Fr(1)) is None
+        assert tree.find_leaf(Fr(3)) == 0
+        # Updating slot 1 to an existing value keeps lowest-index-first.
+        tree.update(1, Fr(3))
+        assert tree.find_leaf(Fr(3)) == 0
+        tree.update(0, Fr(9))
+        assert tree.find_leaf(Fr(3)) == 1
+
+    def test_clone_index_is_independent(self):
+        tree = MerkleTree(3)
+        tree.insert(Fr(5))
+        twin = tree.clone()
+        twin.update(0, Fr(6))
+        assert tree.find_leaf(Fr(5)) == 0
+        assert twin.find_leaf(Fr(5)) is None
+        assert twin.find_leaf(Fr(6)) == 0
+        assert tree.root != twin.root
 
     def test_leaves_in_insertion_order(self):
         tree = MerkleTree(3)

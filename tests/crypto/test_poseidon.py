@@ -47,6 +47,17 @@ class TestParameters:
         rows = {tuple(int(c) for c in row) for row in params.mds}
         assert len(rows) == 3
 
+    def test_int_parameters_cached_and_consistent(self):
+        from repro.crypto.poseidon import poseidon_parameters_int
+
+        constants, mds = poseidon_parameters_int(3)
+        assert poseidon_parameters_int(3) is poseidon_parameters_int(3)
+        params = poseidon_parameters(3)
+        assert constants == tuple(int(c) for c in params.round_constants)
+        assert mds == tuple(
+            tuple(int(c) for c in row) for row in params.mds
+        )
+
 
 class TestPermutation:
     def test_deterministic(self):
@@ -66,6 +77,14 @@ class TestPermutation:
         two = poseidon_permutation([Fr(1), Fr(2)])
         three = poseidon_permutation([Fr(1), Fr(2), Fr(0)])
         assert two[0] != three[0]
+
+    def test_int_permutation_matches_fr_permutation(self):
+        from repro.crypto.poseidon import poseidon_permutation_int
+
+        state = [Fr(11), Fr(22), Fr(33)]
+        assert poseidon_permutation(state) == [
+            Fr(v) for v in poseidon_permutation_int([11, 22, 33])
+        ]
 
 
 class TestHash:
