@@ -1,0 +1,198 @@
+"""Sharded simulation core: invariance, accounting and wall-clock.
+
+Two measurements around the sharded kernel:
+
+* the flagship scenario — ``multi-topic-5k`` executed on the sharded
+  kernel at 1 and 4 shards. The runs must be **bit-identical**
+  (fingerprint equality is the tentpole property: sharding is pure
+  execution machinery), and the table records wall-clock plus the
+  cross-shard traffic accounting that bounds what window-isolated
+  parallelism could save;
+* the parallel runner — the shard-confined ``UniformRelayWorkload``
+  driven through :class:`~repro.sim.shards.ParallelShardRunner`
+  serially and on forked workers. Results must match exactly; the
+  wall-clock columns show what process parallelism buys *on this
+  host* (``host_cpus`` in the meta — on a single-core container the
+  forked mode pays fork+pickle overhead for no overlap, and the
+  numbers record that honestly rather than extrapolating).
+
+Run with ``pytest benchmarks/bench_sharded_sim.py -s``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.scenarios import scenario
+from repro.scenarios.runner import ScenarioRunner
+from repro.sim.shards import ParallelShardRunner, UniformRelayWorkload
+
+#: multi-topic-5k wall-clock on the reference single-core host before
+#: the PR-6 hot-path work (GC quiescence, seen-cache dedup, score
+#: gating), measured at the growth seed. The acceptance floor below is
+#: anchored to a real measurement, not an aspiration.
+PRE_PR6_BASELINE_S = 1126.0
+
+
+def _run_sharded(spec, shards):
+    runner = ScenarioRunner(spec.scaled(shards=shards))
+    start = time.perf_counter()
+    result = runner.run()
+    elapsed = time.perf_counter() - start
+    stats = (
+        runner.net.simulator.shard_stats()
+        if shards > 1
+        else {
+            "barriers": 0,
+            "cross_shard_scheduled": 0,
+            "cross_shard_fraction": 0.0,
+        }
+    )
+    return result, elapsed, stats
+
+
+def test_multi_topic_5k_sharded_invariance(record_table, bench_scale):
+    """The flagship 5k-peer scenario on 1 vs 4 shards: identical
+    fingerprints, recorded wall-clock and partition accounting."""
+    spec = scenario("multi-topic-5k").scaled(
+        peers=bench_scale.n(5000, 60),
+        duration=bench_scale.n(60.0, 10.0),
+    )
+    shard_counts = (1, 2, 4) if bench_scale.quick else (1, 4)
+
+    rows = []
+    outcomes = {}
+    for shards in shard_counts:
+        result, elapsed, stats = _run_sharded(spec, shards)
+        outcomes[shards] = result
+        rows.append(
+            (
+                shards,
+                result.fingerprint(),
+                result.events_processed,
+                f"{elapsed:.1f}",
+                stats["cross_shard_scheduled"],
+                f"{stats['cross_shard_fraction']:.3f}",
+                stats["barriers"],
+            )
+        )
+
+    # The tentpole property holds at any scale: sharding never changes
+    # the simulation, only how its queue is organised.
+    fingerprints = {r.fingerprint() for r in outcomes.values()}
+    assert len(fingerprints) == 1, f"shard-variant results: {rows}"
+    baseline = outcomes[shard_counts[0]]
+    assert all(
+        r.events_processed == baseline.events_processed
+        for r in outcomes.values()
+    )
+
+    wall = {row[0]: float(row[3]) for row in rows}
+    if not bench_scale.quick:
+        # Acceptance floor: at least 2x over the pre-PR-6 seed
+        # measurement. The slimming currently lands 2.5x (~450 s);
+        # the five-minute aspiration stays open on the ROADMAP for
+        # multi-core shard workers.
+        assert wall[1] < PRE_PR6_BASELINE_S / 2, (
+            f"multi-topic-5k too slow: {wall[1]:.0f}s (acceptance needs "
+            f">=2x over the {PRE_PR6_BASELINE_S:.0f}s pre-PR-6 baseline)"
+        )
+
+    record_table(
+        "bench_sharded_sim_multi_topic_5k",
+        "multi-topic-5k on the sharded kernel (fingerprint-invariant)",
+        (
+            "shards",
+            "fingerprint",
+            "events",
+            "wall s",
+            "cross-shard",
+            "x-frac",
+            "barriers",
+        ),
+        rows,
+        note=(
+            "Identical fingerprints by construction: per-shard queues "
+            "merge on the global (time, seq) order. Wall-clock differs "
+            "only by merge overhead; x-frac is the share of events one "
+            "shard scheduled onto another — the coupling that bounds "
+            "window-isolated parallel execution of the full stack."
+        ),
+        meta={
+            "peers": spec.peers,
+            "duration": spec.duration,
+            "host_cpus": os.cpu_count(),
+            **{
+                f"wall_clock_shards_{count}": seconds
+                for count, seconds in wall.items()
+            },
+            "fingerprint": baseline.fingerprint(),
+            "events_processed": baseline.events_processed,
+            "baseline_pre_pr6_s": PRE_PR6_BASELINE_S,
+            "speedup_vs_baseline": round(PRE_PR6_BASELINE_S / wall[1], 2)
+            if wall[1]
+            else 0.0,
+        },
+    )
+
+
+def test_parallel_relay_runner(record_table, bench_scale):
+    """Shard-confined relay fanout through the parallel runner:
+    serial vs forked workers, identical results required."""
+    nodes = bench_scale.n(2000, 48)
+    until = bench_scale.n(30.0, 4.0)
+    workload = UniformRelayWorkload(
+        node_count=nodes, interval=1.0, fanout=4, latency=0.3
+    )
+
+    def run(shards, processes):
+        runner = ParallelShardRunner(
+            workload.build, shard_count=shards, seed=11, window=0.25
+        )
+        start = time.perf_counter()
+        snapshots = runner.run(until=until, processes=processes)
+        elapsed = time.perf_counter() - start
+        published = sum(s["published"] for s in snapshots)
+        delivered = sum(
+            sum(s["delivered"].values()) for s in snapshots
+        )
+        return (published, delivered), elapsed, runner.packets_exchanged
+
+    rows = []
+    reference = None
+    for shards, processes, label in (
+        (1, False, "serial"),
+        (4, False, "serial"),
+        (4, True, "forked"),
+    ):
+        totals, elapsed, packets = run(shards, processes)
+        if reference is None:
+            reference = totals
+        # Correctness at every scale: shard count and worker processes
+        # must never change what was published or delivered.
+        assert totals == reference, f"divergent results at {shards} shards"
+        rows.append(
+            (shards, label, totals[0], totals[1], packets, f"{elapsed:.2f}")
+        )
+
+    record_table(
+        "bench_sharded_sim_parallel_relay",
+        "shard-confined relay workload: serial vs forked lockstep windows",
+        ("shards", "mode", "published", "delivered", "packets", "wall s"),
+        rows,
+        note=(
+            "Per-node RNG streams make the workload shard-invariant; "
+            "cross-shard deliveries cross at barrier windows in "
+            "(time, origin, seq) order, so forked execution is "
+            "bit-deterministic. Wall-clock speedup requires cores: "
+            "see host_cpus in meta."
+        ),
+        meta={
+            "nodes": nodes,
+            "until": until,
+            "host_cpus": os.cpu_count(),
+            "published": reference[0],
+            "delivered": reference[1],
+        },
+    )

@@ -87,7 +87,8 @@ EXPERIMENTS = {
 
 
 def _run_scenario_command(argv) -> int:
-    """``run-scenario <name> [--peers N] [--duration S] [--seed K] [--json]``"""
+    """``run-scenario <name> [--peers N] [--duration S] [--seed K]
+    [--shards N] [--json]``"""
     from ..errors import ScenarioError
     from ..scenarios import run_scenario, scenario, scenario_names
 
@@ -95,7 +96,9 @@ def _run_scenario_command(argv) -> int:
         print(f"usage: run-scenario <name>; choose from {scenario_names()}")
         return 1
     name, flags = argv[0], argv[1:]
-    overrides = {"peers": None, "duration": None, "seed": None}
+    overrides = {
+        "peers": None, "duration": None, "seed": None, "shards": None
+    }
     as_json = False
     i = 0
     while i < len(flags):

@@ -320,6 +320,8 @@ class WakuRlnRelayPeer:
                 lambda _sim: self.sync(),
                 label=f"sync:{self.node_id}",
                 jitter=0.2,
+                stagger=True,
+                shard=self.node_id,
             )
         )
         self._stop_tasks.append(
@@ -328,6 +330,8 @@ class WakuRlnRelayPeer:
                 lambda _sim: self._housekeeping(),
                 label=f"gc:{self.node_id}",
                 jitter=0.2,
+                stagger=True,
+                shard=self.node_id,
             )
         )
 

@@ -29,6 +29,7 @@ from ..rln.prover import rln_keys
 from ..rln.verifier import VerificationCache
 from ..sim.latency import LatencyModel, UniformLatency
 from ..sim.metrics import MetricsRegistry
+from ..sim.shards import ShardedSimulator, ShardPlan
 from ..sim.simulator import Simulator
 from .config import ProtocolConfig
 from .peer import WakuRlnRelayPeer
@@ -47,9 +48,23 @@ class WakuRlnRelayNetwork:
         degree: Optional[int] = 6,
         latency: Optional[LatencyModel] = None,
         block_interval: float = ETH_BLOCK_INTERVAL_SECONDS,
+        shards: int = 1,
     ) -> None:
         self.config = config or ProtocolConfig()
-        self.simulator = Simulator(seed=seed)
+        if shards > 1:
+            # Contiguous id blocks as the "region" partition (matches
+            # construction order); churn joiners hash-fall-back. The
+            # sharded kernel merges on the global (time, seq) order, so
+            # results are bit-identical to the unsharded kernel at any
+            # shard count — shard_stats() reports the partition quality.
+            plan = ShardPlan.blocked(
+                [f"peer-{i}" for i in range(peer_count)], shards
+            )
+            self.simulator: Simulator = ShardedSimulator(
+                seed=seed, shards=shards, plan=plan
+            )
+        else:
+            self.simulator = Simulator(seed=seed)
         self.metrics: MetricsRegistry
         self.network = Network(
             simulator=self.simulator,

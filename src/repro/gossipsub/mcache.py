@@ -78,17 +78,21 @@ class SeenCache:
     def __init__(self, ttl: float = 120.0) -> None:
         self.ttl = ttl
         self._expiry: Dict[str, float] = {}
-        #: (expiry, msg_id) min-heap; stale entries (the ID was since
-        #: re-witnessed or already dropped) are skipped on pop.
+        #: (expiry, msg_id) min-heap with exactly ONE entry per live ID.
+        #: A re-witness only updates the dict; when the entry's queued
+        #: time surfaces, the sweep re-queues it at the true expiry.
+        #: The alternative — push per witness — grows the heap with
+        #: every duplicate delivery, which on a gossip flood means the
+        #: heap tracks total traffic instead of the live working set.
         self._heap: List[Tuple[float, str]] = []
 
     def witness(self, msg_id: str, now: float) -> bool:
         """Record ``msg_id``; returns True when it was seen already."""
         self._sweep(now)
         seen = msg_id in self._expiry
-        expiry = now + self.ttl
-        self._expiry[msg_id] = expiry
-        heapq.heappush(self._heap, (expiry, msg_id))
+        self._expiry[msg_id] = now + self.ttl
+        if not seen:
+            heapq.heappush(self._heap, (now + self.ttl, msg_id))
         return seen
 
     def __contains__(self, msg_id: str) -> bool:
@@ -96,12 +100,19 @@ class SeenCache:
 
     def _sweep(self, now: float) -> None:
         heap = self._heap
+        expiry_map = self._expiry
         while heap and heap[0][0] <= now:
-            expiry, msg_id = heapq.heappop(heap)
-            # Drop only if this heap entry still owns the ID (a newer
-            # witness pushes a fresher entry and extends the expiry).
-            if self._expiry.get(msg_id) == expiry:
-                del self._expiry[msg_id]
+            queued, msg_id = heap[0]
+            actual = expiry_map.get(msg_id)
+            if actual is None:
+                heapq.heappop(heap)
+            elif actual <= now:
+                heapq.heappop(heap)
+                del expiry_map[msg_id]
+            else:
+                # Re-witnessed since it was queued: push the entry back
+                # down the heap at its real expiry.
+                heapq.heapreplace(heap, (actual, msg_id))
 
     def __len__(self) -> int:
         return len(self._expiry)

@@ -95,6 +95,9 @@ class GossipSubRouter:
         #: applied to each inbound RPC that carries message publications.
         self.processing_delay = processing_delay
         self.metrics = metrics if metrics is not None else network.metrics
+        # Pre-bound counter dict: the registry method costs a call frame
+        # per bump, and the delivery path bumps several per packet.
+        self._counters = self.metrics.counters
         self.scores = PeerScoreTracker(
             score_params or PeerScoreParams(),
             lazy=self.params.batched_bookkeeping,
@@ -133,6 +136,8 @@ class GossipSubRouter:
             lambda _sim: self.heartbeat(),
             label=f"heartbeat:{self.node_id}",
             jitter=0.1,
+            stagger=True,
+            shard=self.node_id,
         )
 
     def stop(self) -> None:
@@ -263,11 +268,14 @@ class GossipSubRouter:
 
     def _process(self, from_peer: NodeId, packet: RpcPacket) -> None:
         self.scores.add_peer(from_peer)
-        if (
+        # Graylisting compares against a negative threshold, and a
+        # non-suspect provably scores >= 0 — only suspects need the
+        # real score computed on this per-RPC path.
+        if self.scores.maybe_negative(from_peer) and (
             self.scores.score(from_peer, self.now)
             < self.scores.params.graylist_threshold
         ):
-            self.metrics.increment("gossipsub.graylisted_rpc")
+            self._counters["gossipsub.graylisted_rpc"] += 1
             return
         for topic in packet.subscribe:
             self.topic_peers.setdefault(topic, set()).add(from_peer)
@@ -292,18 +300,19 @@ class GossipSubRouter:
 
     def _handle_publish(self, message: GossipMessage, from_peer: NodeId) -> None:
         topic = message.topic
-        self.metrics.increment("gossipsub.received")
+        counters = self._counters
+        counters["gossipsub.received"] += 1
         if self.seen.witness(message.msg_id, self.now):
             self.scores.duplicate_message(from_peer, topic)
-            self.metrics.increment("gossipsub.duplicates")
+            counters["gossipsub.duplicates"] += 1
             return
         result = self._validate(message, from_peer)
         if result is ValidationResult.REJECT:
             self.scores.reject_message(from_peer, topic)
-            self.metrics.increment("gossipsub.rejected")
+            counters["gossipsub.rejected"] += 1
             return
         if result is ValidationResult.IGNORE:
-            self.metrics.increment("gossipsub.ignored")
+            counters["gossipsub.ignored"] += 1
             return
         self.scores.first_message(from_peer, topic)
         self.mcache.put(message)
@@ -321,22 +330,27 @@ class GossipSubRouter:
     def _deliver_locally(self, message: GossipMessage, from_peer: NodeId) -> None:
         if message.topic not in self.subscriptions:
             return
-        self.metrics.increment("gossipsub.delivered")
+        self._counters["gossipsub.delivered"] += 1
         for callback in self.delivery_callbacks:
             callback(message.topic, message.payload, message.msg_id, from_peer)
 
     def _forward(self, message: GossipMessage, exclude: Set[NodeId]) -> None:
         topic = message.topic
         targets = set(self.mesh.get(topic, set())) - exclude
+        if not targets:
+            return
         packet = RpcPacket(publish=[message])
+        # One packet fans out to the whole mesh; size it once.
+        size = packet.size_bytes
         for peer in targets:
-            self._send(peer, packet)
+            self._send(peer, packet, size)
 
     def _handle_ihave(
         self, ihave: Dict[str, List[str]], from_peer: NodeId
     ) -> None:
-        # Ignore gossip from peers scored below the gossip threshold.
-        if (
+        # Ignore gossip from peers scored below the gossip threshold
+        # (negative, so non-suspects pass without a score computation).
+        if self.scores.maybe_negative(from_peer) and (
             self.scores.score(from_peer, self.now)
             < self.scores.params.gossip_threshold
         ):
@@ -467,7 +481,11 @@ class GossipSubRouter:
         suggestions = [
             p
             for p in self.mesh.get(topic, set())
-            if p != peer and self.scores.score(p, self.now) >= 0
+            if p != peer
+            and (
+                not self.scores.maybe_negative(p)
+                or self.scores.score(p, self.now) >= 0
+            )
         ][: self.params.px_peers]
         packet = RpcPacket(prune=[(topic, self.params.prune_backoff)])
         if suggestions:
@@ -477,12 +495,17 @@ class GossipSubRouter:
     def _gossip_eligible_peers(self, topic: str) -> List[NodeId]:
         """Known topic peers that are direct neighbours, best score first."""
         neighbors = self.network.neighbor_set(self.node_id)
+        # The threshold is negative; non-suspects pass without scoring
+        # (the sort below computes their real score exactly once).
         candidates = [
             peer
             for peer in self.topic_peers.get(topic, set())
             if peer in neighbors
-            and self.scores.score(peer, self.now)
-            >= self.scores.params.gossip_threshold
+            and (
+                not self.scores.maybe_negative(peer)
+                or self.scores.score(peer, self.now)
+                >= self.scores.params.gossip_threshold
+            )
         ]
         candidates.sort(
             key=lambda p: self.scores.score(p, self.now), reverse=True
@@ -571,7 +594,10 @@ class GossipSubRouter:
                 for peer in self._gossip_eligible_peers(topic)
                 if peer not in mesh
                 and not self._in_backoff(peer, topic)
-                and self.scores.score(peer, self.now) >= 0
+                and (
+                    not self.scores.maybe_negative(peer)
+                    or self.scores.score(peer, self.now) >= 0
+                )
             ]
             rng.shuffle(candidates)
             for peer in candidates[: self.params.d - len(mesh)]:
@@ -644,11 +670,16 @@ class GossipSubRouter:
 
     # -- transport ------------------------------------------------------------------------
 
-    def _send(self, peer: NodeId, packet: RpcPacket) -> None:
+    def _send(
+        self, peer: NodeId, packet: RpcPacket, size: Optional[int] = None
+    ) -> None:
         if packet.is_empty():
             return
-        self.metrics.increment("gossipsub.rpc_sent")
-        self.metrics.increment("gossipsub.bytes_sent", packet.size_bytes)
+        counters = self.metrics.counters
+        counters["gossipsub.rpc_sent"] += 1
+        counters["gossipsub.bytes_sent"] += (
+            packet.size_bytes if size is None else size
+        )
         self.network.send(self.node_id, peer, packet)
 
     def _broadcast_control(self, packet: RpcPacket) -> None:

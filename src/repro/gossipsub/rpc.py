@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Dict, List, Tuple
 
 
@@ -50,7 +51,10 @@ class GossipMessage:
     topic: str
     payload: Any
 
-    @property
+    # One message object is shared by every router that relays it, and
+    # each hop's bandwidth accounting asks for the size — cache the
+    # byte-serialisation once per message, not once per hop.
+    @cached_property
     def size_bytes(self) -> int:
         return len(payload_to_bytes(self.payload))
 
@@ -85,17 +89,31 @@ class RpcPacket:
 
     @property
     def size_bytes(self) -> int:
-        """Rough wire size for bandwidth accounting."""
+        """Rough wire size for bandwidth accounting.
+
+        Computed once per send on the hot path, so plain loops instead
+        of ``sum(...)`` generator expressions — most fields are empty
+        for a typical packet and skip in a single truth test.
+        """
         size = 8  # envelope framing
         for message in self.publish:
             size += 16 + len(message.topic) + message.size_bytes
-        for topic, ids in self.ihave.items():
-            size += len(topic) + 16 * len(ids)
-        size += 16 * len(self.iwant)
-        size += sum(len(t) for t in self.graft)
-        size += sum(len(t) + 8 for t, _ in self.prune)
-        for topic, peers in self.px.items():
-            size += len(topic) + sum(len(p) for p in peers)
-        size += sum(len(t) for t in self.subscribe)
-        size += sum(len(t) for t in self.unsubscribe)
+        if self.ihave:
+            for topic, ids in self.ihave.items():
+                size += len(topic) + 16 * len(ids)
+        if self.iwant:
+            size += 16 * len(self.iwant)
+        for topic in self.graft:
+            size += len(topic)
+        for topic, _ in self.prune:
+            size += len(topic) + 8
+        if self.px:
+            for topic, peers in self.px.items():
+                size += len(topic)
+                for peer in peers:
+                    size += len(peer)
+        for topic in self.subscribe:
+            size += len(topic)
+        for topic in self.unsubscribe:
+            size += len(topic)
         return size

@@ -211,6 +211,14 @@ class PeerScoreTracker:
         self._ip_peers: Dict[str, Set[NodeId]] = {}
         #: Conservative superset of peers whose score may be negative.
         self._suspects: Set[NodeId] = set()
+        #: Bumped by every score-affecting event; keys the score memo.
+        self._version = 0
+        #: peer -> (now, tick, version, score). A score is a pure
+        #: function of (peer state, now, decay tick); between events the
+        #: router reads it repeatedly (graylist gates, sort keys in
+        #: gossip emission and mesh maintenance), so memoising the last
+        #: value per peer collapses those bursts to one computation.
+        self._score_cache: Dict[NodeId, tuple] = {}
 
     # -- peer lifecycle -------------------------------------------------------
 
@@ -220,6 +228,8 @@ class PeerScoreTracker:
             self._assign_ip(peer, stats, ip)
 
     def remove_peer(self, peer: NodeId) -> None:
+        self._version += 1
+        self._score_cache.pop(peer, None)
         stats = self._peers.pop(peer, None)
         if stats is not None and stats.ip is not None:
             group = self._ip_peers.get(stats.ip)
@@ -314,6 +324,7 @@ class PeerScoreTracker:
     # -- mesh events --------------------------------------------------------------
 
     def graft(self, peer: NodeId, topic: str, now: float) -> None:
+        self._version += 1
         stats = self._topic_stats(peer, topic)
         stats.in_mesh = True
         stats.graft_time = now
@@ -325,6 +336,7 @@ class PeerScoreTracker:
 
     def prune(self, peer: NodeId, topic: str, now: float) -> None:
         """Peer leaves the mesh; a delivery deficit becomes P3b."""
+        self._version += 1
         params = self.params.for_topic(topic)
         stats = self._topic_stats(peer, topic)
         if stats.in_mesh:
@@ -338,6 +350,7 @@ class PeerScoreTracker:
     # -- delivery events ------------------------------------------------------------
 
     def first_message(self, peer: NodeId, topic: str) -> None:
+        self._version += 1
         params = self.params.for_topic(topic)
         stats = self._topic_stats(peer, topic)
         stats.first_message_deliveries = min(
@@ -351,26 +364,38 @@ class PeerScoreTracker:
             )
 
     def duplicate_message(self, peer: NodeId, topic: str) -> None:
+        stats = self._peers.get(peer)
+        tstats = stats.topics.get(topic) if stats is not None else None
+        if tstats is None or not tstats.in_mesh:
+            # A duplicate from outside the mesh changes nothing: the
+            # counters stay untouched, and lazily creating the topic
+            # entry later replays decay over zeros (still zeros). Skip
+            # the version bump too — it would only evict warm score
+            # memos for state that did not change.
+            return
+        self._version += 1
         params = self.params.for_topic(topic)
-        stats = self._topic_stats(peer, topic)
-        if stats.in_mesh:
-            stats.mesh_message_deliveries = min(
-                stats.mesh_message_deliveries + 1,
-                params.mesh_message_deliveries_cap,
-            )
+        self._materialize_topic(tstats, params)
+        tstats.mesh_message_deliveries = min(
+            tstats.mesh_message_deliveries + 1,
+            params.mesh_message_deliveries_cap,
+        )
 
     def reject_message(self, peer: NodeId, topic: str) -> None:
+        self._version += 1
         stats = self._topic_stats(peer, topic)
         stats.invalid_message_deliveries += 1
         self._suspects.add(peer)
 
     def behaviour_penalty(self, peer: NodeId, amount: float = 1.0) -> None:
+        self._version += 1
         stats = self._stats(peer)
         self._materialize_behaviour(stats)
         stats.behaviour_penalty += amount
         self._suspects.add(peer)
 
     def set_app_score(self, peer: NodeId, score: float) -> None:
+        self._version += 1
         self._stats(peer).app_score = score
         if score < 0:
             self._suspects.add(peer)
@@ -381,6 +406,7 @@ class PeerScoreTracker:
     def _assign_ip(self, peer: NodeId, stats: _PeerStats, ip: str) -> None:
         if stats.ip == ip:
             return
+        self._version += 1
         if stats.ip is not None:
             old = self._ip_peers.get(stats.ip)
             if old is not None:
@@ -427,18 +453,32 @@ class PeerScoreTracker:
         )
 
     def score(self, peer: NodeId, now: float = 0.0) -> float:
+        cached = self._score_cache.get(peer)
+        if (
+            cached is not None
+            and cached[1] == self._tick
+            and cached[2] == self._version
+            # A peer in none of our meshes has no time-dependent score
+            # component (P1/P3 only tick while in-mesh), so its cached
+            # value holds for any ``now`` within the same tick/version.
+            and (cached[0] == now or not cached[4])
+        ):
+            return cached[3]
         stats = self._peers.get(peer)
         if stats is None:
             return 0.0
         total = 0.0
         #: Does any negative-capable component remain live?
         suspect = stats.app_score < 0
+        #: Does the score depend on ``now`` (any in-mesh topic)?
+        now_dependent = False
         for topic, tstats in stats.topics.items():
             params = self.params.for_topic(topic)
             self._materialize_topic(tstats, params)
             topic_score = 0.0
             # P1
             if tstats.in_mesh:
+                now_dependent = True
                 tstats.mesh_time = now - tstats.graft_time
             p1 = min(
                 tstats.mesh_time / params.time_in_mesh_quantum,
@@ -487,4 +527,11 @@ class PeerScoreTracker:
             suspect = True
         if not suspect:
             self._suspects.discard(peer)
+        self._score_cache[peer] = (
+            now,
+            self._tick,
+            self._version,
+            total,
+            now_dependent,
+        )
         return total

@@ -53,6 +53,14 @@ class Network:
         self._nodes: Dict[NodeId, NetworkNode] = {}
         self._adjacency: Dict[NodeId, Set[NodeId]] = {}
         self._link_total = 0
+        #: receiver -> "deliver:<receiver>"; building the label string
+        #: once per node instead of once per packet keeps it off the
+        #: per-send path.
+        self._deliver_labels: Dict[NodeId, str] = {}
+        # Pre-bound metric sinks: every packet touches these, and the
+        # registry indirection is measurable at millions of sends.
+        self._counters = self.metrics.counters
+        self._latency_hist = self.metrics.histograms["net.latency"]
 
     # -- membership ----------------------------------------------------------
 
@@ -137,16 +145,16 @@ class Network:
         link does not exist (e.g. the peer just disconnected); gossip is
         tolerant of both, so no exception is raised.
         """
-        if not self.are_connected(sender, receiver):
-            self.metrics.increment("net.send_no_link")
+        if receiver not in self._adjacency.get(sender, ()):
+            self._counters["net.send_no_link"] += 1
             return False
         rng = self.simulator.rng
         if self.latency.sample_loss(rng):
-            self.metrics.increment("net.packets_lost")
+            self._counters["net.packets_lost"] += 1
             return False
         delay = self.latency.sample_latency(rng)
-        self.metrics.increment("net.packets_sent")
-        self.metrics.observe("net.latency", delay)
+        self._counters["net.packets_sent"] += 1
+        self._latency_hist.observe(delay)
 
         def deliver(sim: Simulator) -> None:
             # The receiver may have churned out while in flight.
@@ -156,7 +164,12 @@ class Network:
                 return
             target.deliver(sender, packet)
 
-        self.simulator.schedule(delay, deliver, label=f"deliver:{receiver}")
+        label = self._deliver_labels.get(receiver)
+        if label is None:
+            label = self._deliver_labels[receiver] = f"deliver:{receiver}"
+        # The receiver is the delivery's shard affinity: a sharded
+        # kernel queues the event where the receiving node lives.
+        self.simulator.schedule(delay, deliver, label=label, shard=receiver)
         return True
 
     def broadcast(

@@ -318,6 +318,44 @@ register_scenario(
 
 register_scenario(
     ScenarioSpec(
+        name="city-scale-50k",
+        description=(
+            "City-scale deployment on the sharded kernel: 50000 peers "
+            "partitioned into 8 event-queue shards, three busy topics, "
+            "very light per-peer traffic and a pair of adaptive "
+            "attackers. Fingerprints are shard-count invariant; "
+            "shard_stats() reports the cross-shard traffic fraction. "
+            "Tier-1 smokes it tiny; the full scale runs behind -m slow."
+        ),
+        peers=50000,
+        duration=30.0,
+        shards=8,
+        traffic=TrafficModel(messages_per_epoch=0.1, active_fraction=0.04),
+        topics=(
+            TopicSpec("/waku/2/market/proto", traffic_weight=2.0,
+                      subscribe_fraction=0.3),
+            TopicSpec("/waku/2/chat/proto", traffic_weight=1.0,
+                      subscribe_fraction=0.2),
+            TopicSpec("/waku/2/firehose/proto", traffic_weight=0.5,
+                      subscribe_fraction=0.05, rln_protected=False),
+        ),
+        adversaries=AdversaryMix(
+            groups=(
+                AdversaryGroup(
+                    strategy="adaptive-backoff",
+                    count=2,
+                    budget_stakes=4,
+                    burst=6,
+                    target_topics=("/waku/2/market/proto",),
+                ),
+            ),
+        ),
+        config_overrides=_CACHE,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
         name="mixed-baseline-comparison",
         description=(
             "The burst-spammer attack run against Waku-RLN-Relay and, "

@@ -26,7 +26,7 @@ from ..baselines.relay_baselines import BaselineNetwork
 from ..core.peer import WakuRlnRelayPeer
 from ..core.protocol import WakuRlnRelayNetwork
 from ..errors import RateLimitError, RegistrationError
-from ..sim.simulator import Simulator
+from ..sim.simulator import Simulator, quiescent_gc
 from ..waku.message import DEFAULT_PUBSUB_TOPIC, WakuMessage
 from .result import ScenarioResult
 from .spec import ScenarioSpec
@@ -52,13 +52,17 @@ class ScenarioRunner:
 
     def __init__(self, spec: ScenarioSpec) -> None:
         self.spec = spec
-        self.net = WakuRlnRelayNetwork(
-            peer_count=spec.peers,
-            config=spec.build_config(),
-            seed=spec.seed,
-            degree=spec.degree,
-            block_interval=spec.block_interval,
-        )
+        # Building thousands of peers allocates millions of long-lived
+        # objects; keep the collector from rescanning the growing graph.
+        with quiescent_gc():
+            self.net = WakuRlnRelayNetwork(
+                peer_count=spec.peers,
+                config=spec.build_config(),
+                seed=spec.seed,
+                degree=spec.degree,
+                block_interval=spec.block_interval,
+                shards=spec.shards,
+            )
         #: node_id -> [honest deliveries, spam deliveries]
         self._received: Dict[str, List[int]] = {}
         #: Every adversary — legacy burst spammers and engine agents —
@@ -409,13 +413,14 @@ class ScenarioRunner:
         started_wall = time.perf_counter()
         net = self.net
 
-        net.register_all()
-        net.start()
-        self._schedule_traffic()
-        engine = self._schedule_adversaries()
-        self._schedule_churn()
-        net.run(spec.duration)
-        net.stop()
+        with quiescent_gc():
+            net.register_all()
+            net.start()
+            self._schedule_traffic()
+            engine = self._schedule_adversaries()
+            self._schedule_churn()
+            net.run(spec.duration)
+            net.stop()
 
         honest_receivers = [
             nid for nid in self._received if nid not in self._adversary_ids
@@ -540,6 +545,9 @@ def run_scenario(
     peers: Optional[int] = None,
     duration: Optional[float] = None,
     seed: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> ScenarioResult:
     """Run ``spec`` (optionally rescaled) and return its result."""
-    return ScenarioRunner(spec.scaled(peers, duration, seed)).run()
+    return ScenarioRunner(
+        spec.scaled(peers, duration, seed, shards)
+    ).run()

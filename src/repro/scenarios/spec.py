@@ -218,6 +218,11 @@ class ScenarioSpec:
     #: Extra pubsub topics multiplexed over the same mesh (the primary
     #: topic is always present); see :class:`TopicSpec`.
     topics: Tuple[TopicSpec, ...] = ()
+    #: Event-queue shards the simulation kernel partitions the network
+    #: into (1 = the plain single-queue kernel). Fingerprints are
+    #: invariant in this value — it selects execution machinery, not
+    #: workload semantics.
+    shards: int = 1
     #: Attribute overrides applied to the default :class:`ProtocolConfig`.
     config_overrides: Mapping[str, object] = field(default_factory=dict)
     #: Also run the same adversary against an unprotected baseline relay
@@ -231,6 +236,8 @@ class ScenarioSpec:
             raise ScenarioError("spammers must leave at least one honest peer")
         if self.duration <= 0:
             raise ScenarioError("duration must be positive")
+        if self.shards < 1:
+            raise ScenarioError("shards must be >= 1")
         if not isinstance(self.topics, tuple):
             object.__setattr__(self, "topics", tuple(self.topics))
         names = [t.name for t in self.topics]
@@ -285,6 +292,7 @@ class ScenarioSpec:
         peers: Optional[int] = None,
         duration: Optional[float] = None,
         seed: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> "ScenarioSpec":
         """A copy resized for quick runs, adversary mix rescaled with it."""
         spec = self
@@ -328,4 +336,6 @@ class ScenarioSpec:
             spec = replace(spec, duration=duration)
         if seed is not None:
             spec = replace(spec, seed=seed)
+        if shards is not None:
+            spec = replace(spec, shards=shards)
         return spec

@@ -2,14 +2,27 @@
 
 from .latency import LatencyModel, LogNormalLatency, UniformLatency
 from .metrics import Histogram, MetricsRegistry
-from .simulator import EventHandle, Simulator
+from .shards import (
+    CrossShardPacket,
+    ParallelShardRunner,
+    ShardedSimulator,
+    ShardPlan,
+    UniformRelayWorkload,
+)
+from .simulator import EventHandle, Simulator, quiescent_gc
 
 __all__ = [
     "Simulator",
     "EventHandle",
+    "ShardedSimulator",
+    "ShardPlan",
+    "ParallelShardRunner",
+    "CrossShardPacket",
+    "UniformRelayWorkload",
     "LatencyModel",
     "UniformLatency",
     "LogNormalLatency",
     "Histogram",
     "MetricsRegistry",
+    "quiescent_gc",
 ]

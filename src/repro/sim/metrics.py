@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+from array import array
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -10,12 +11,68 @@ from typing import Dict, List, Optional, Sequence
 
 @dataclass
 class Histogram:
-    """Collects float samples; summarises on demand."""
+    """Collects float samples; summarises on demand.
 
-    samples: List[float] = field(default_factory=list)
+    Summary statistics are cached between observations: the running
+    sum / min / max update in O(1) per :meth:`observe`, and the sorted
+    view percentiles read from is built once and invalidated by the
+    next observation — repeated queries (a per-epoch summary asking for
+    several percentiles) no longer re-sort or re-scan the sample list
+    each call. All cached values are bit-identical to the naive
+    recomputation: the running sum adds in the same left-to-right order
+    ``sum(samples)`` would. Appending to ``samples`` directly (instead
+    of through ``observe``) is detected by a length check and triggers
+    a full rebuild.
+    """
+
+    samples: Sequence[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Contiguous C doubles instead of a list of boxed floats: a
+        # large run accumulates millions of latency samples, and the
+        # array stores them in a quarter of the memory with no
+        # pointer-chasing. Python floats are C doubles, so every
+        # statistic computed from the array is bit-identical to the
+        # list version.
+        self.samples = array("d", self.samples)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        samples = self.samples
+        self._n = len(samples)
+        total = 0.0
+        for value in samples:
+            total += value
+        self._sum = total
+        self._min = min(samples) if samples else 0.0
+        self._max = max(samples) if samples else 0.0
+        self._sorted: Optional[List[float]] = None
+
+    def _sync(self) -> None:
+        if self._n != len(self.samples):
+            self._rebuild()
 
     def observe(self, value: float) -> None:
+        if self._n != len(self.samples):  # inline _sync: hot path
+            self._rebuild()
         self.samples.append(value)
+        if self._n == 0:
+            self._min = value
+            self._max = value
+        else:
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+        self._n += 1
+        self._sum += value
+        self._sorted = None
+
+    def _ordered(self) -> List[float]:
+        self._sync()
+        if self._sorted is None:
+            self._sorted = sorted(self.samples)
+        return self._sorted
 
     @property
     def count(self) -> int:
@@ -23,21 +80,24 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+        self._sync()
+        return self._sum / self._n if self._n else 0.0
 
     @property
     def minimum(self) -> float:
-        return min(self.samples) if self.samples else 0.0
+        self._sync()
+        return self._min
 
     @property
     def maximum(self) -> float:
-        return max(self.samples) if self.samples else 0.0
+        self._sync()
+        return self._max
 
     def percentile(self, q: float) -> float:
         """Linear-interpolated percentile, ``q`` in [0, 100]."""
-        if not self.samples:
+        ordered = self._ordered()
+        if not ordered:
             return 0.0
-        ordered = sorted(self.samples)
         if len(ordered) == 1:
             return ordered[0]
         rank = (q / 100.0) * (len(ordered) - 1)

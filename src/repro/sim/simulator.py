@@ -6,14 +6,21 @@ latencies — runs on this kernel: a priority queue of timestamped events
 consumed in order while a virtual clock advances. Simulations are fully
 deterministic given a seed, and simulated seconds are free, so a 13 s
 block interval or a 0.5 s proving delay costs nothing in wall-clock.
+
+The queue stores ``(time, sequence, event)`` tuples so heap comparisons
+stay in C, event records are slotted and recycled through a free list
+(the per-message hot path allocates nothing once warm), and cancelled
+events are compacted out of the heap once they outnumber live ones —
+workloads that cancel/reschedule timers constantly (gossip backoffs,
+churn) keep a bounded queue instead of a monotonically growing one.
 """
 
 from __future__ import annotations
 
-import heapq
+import gc
 import itertools
 import random
-from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import Callable, Optional
 
 from ..errors import SimulationError
@@ -22,65 +29,219 @@ from ..errors import SimulationError
 Handler = Callable[["Simulator"], None]
 
 
-@dataclass(order=True)
+# -- GC quiescence --------------------------------------------------------
+#
+# A large simulation holds millions of live, long-lived objects (peers,
+# meshes, caches) while the event loop allocates constantly (packets,
+# closures); the collector's full generations then rescan the whole
+# graph every few hundred thousand allocations for nothing — the
+# workload is essentially cycle-free. Freezing the pre-run object graph
+# and widening the thresholds while the loop runs removes that rescan
+# without changing what is ever collected. ``freeze``/``unfreeze`` move
+# generation lists around (no scan), so entering is cheap enough for
+# per-window calls from sharded workers.
+
+_GC_DEPTH = 0
+_GC_SAVED: Optional[tuple] = None
+
+
+class quiescent_gc:
+    """Context manager: calm the collector around a large build+run.
+
+    Re-entrant; the innermost exit restores the caller's thresholds.
+    Scenario runners wrap their whole build+run in this so the setup
+    phase (millions of allocations into a growing live graph) gets the
+    same treatment as the event loop, which quiesces itself.
+    """
+
+    def __enter__(self) -> "quiescent_gc":
+        _gc_quiesce()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _gc_restore()
+
+
+def _gc_quiesce() -> None:
+    global _GC_DEPTH, _GC_SAVED
+    _GC_DEPTH += 1
+    if _GC_DEPTH > 1 or not gc.isenabled():
+        return
+    _GC_SAVED = gc.get_threshold()
+    gc.freeze()
+    gc.set_threshold(100_000, 50, 100)
+
+
+def _gc_restore() -> None:
+    global _GC_DEPTH, _GC_SAVED
+    _GC_DEPTH -= 1
+    if _GC_DEPTH > 0 or _GC_SAVED is None:
+        return
+    gc.set_threshold(*_GC_SAVED)
+    _GC_SAVED = None
+    gc.unfreeze()
+
+
 class _ScheduledEvent:
-    time: float
-    sequence: int
-    handler: Handler = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    """One queue entry's mutable record (identity + cancellation flag).
+
+    Ordering lives in the ``(time, sequence)`` tuple prefix of the heap
+    entries, never on the record itself; records are recycled through
+    the simulator's free list, with ``sequence`` doubling as the
+    incarnation check that keeps stale :class:`EventHandle` references
+    from touching a reused record.
+    """
+
+    __slots__ = ("time", "sequence", "handler", "label", "cancelled")
+
+    def __init__(self) -> None:
+        self.time = 0.0
+        self.sequence = -1
+        self.handler: Optional[Handler] = None
+        self.label = ""
+        self.cancelled = False
 
 
 class EventHandle:
     """Returned by :meth:`Simulator.schedule`; allows cancellation."""
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    __slots__ = ("_sim", "_event", "_sequence", "_time", "_cancelled")
+
+    def __init__(self, sim: "Simulator", event: _ScheduledEvent) -> None:
+        self._sim = sim
         self._event = event
+        self._sequence = event.sequence
+        self._time = event.time
+        self._cancelled = False
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        if self._cancelled:
+            return
+        self._cancelled = True
+        event = self._event
+        # Only mark the record if it is still *our* incarnation (it may
+        # have fired and been recycled for an unrelated event since).
+        if event.sequence == self._sequence and not event.cancelled:
+            event.cancelled = True
+            self._sim._note_cancelled()
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._time
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._cancelled
 
 
 class Simulator:
     """A deterministic discrete-event simulator."""
 
+    #: Lazy-compaction trigger: rebuild the heap once at least this many
+    #: cancelled events sit in it *and* they are at least half of it.
+    COMPACT_MIN_CANCELLED = 64
+
+    #: Free-list bound; beyond this, popped event records are dropped.
+    _POOL_LIMIT = 4096
+
     def __init__(self, seed: int = 0) -> None:
         self.now = 0.0
         self.rng = random.Random(seed)
-        self._queue: list[_ScheduledEvent] = []
+        #: Heap of ``(time, sequence, _ScheduledEvent)``.
+        self._queue: list = []
         self._sequence = itertools.count()
+        self._pool: list = []
+        self._cancelled_pending = 0
         self.events_processed = 0
+
+    # -- rng streams -----------------------------------------------------------
+
+    def stream(self, key: object) -> random.Random:
+        """The random stream owned by entity ``key``.
+
+        The base kernel runs everything off one shared stream, so this
+        returns :attr:`rng` regardless of key — callers that sample
+        through ``stream(...)`` are bit-identical to callers that use
+        ``rng`` directly. The sharded kernel overrides this with
+        per-entity streams derived from the root seed, which is what
+        makes an entity's draws independent of which shard it runs on.
+        """
+        return self.rng
 
     # -- scheduling ------------------------------------------------------------
 
+    def _checkout(
+        self, time: float, handler: Handler, label: str
+    ) -> _ScheduledEvent:
+        pool = self._pool
+        event = pool.pop() if pool else _ScheduledEvent()
+        event.time = time
+        event.sequence = next(self._sequence)
+        event.handler = handler
+        event.label = label
+        event.cancelled = False
+        return event
+
+    def _recycle(self, event: _ScheduledEvent) -> None:
+        event.handler = None  # don't pin closures in the free list
+        event.sequence = -1
+        pool = self._pool
+        if len(pool) < self._POOL_LIMIT:
+            pool.append(event)
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_pending += 1
+        queue = self._queue
+        if (
+            self._cancelled_pending >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled_pending * 2 >= len(queue)
+        ):
+            live = [entry for entry in queue if not entry[2].cancelled]
+            for entry in queue:
+                if entry[2].cancelled:
+                    self._recycle(entry[2])
+            # In place, so aliases held by a running step()/run() frame
+            # keep seeing the compacted heap.
+            queue[:] = live
+            heapify(queue)
+            self._cancelled_pending = 0
+
     def schedule(
-        self, delay: float, handler: Handler, label: str = ""
+        self,
+        delay: float,
+        handler: Handler,
+        label: str = "",
+        shard: Optional[str] = None,
     ) -> EventHandle:
-        """Run ``handler`` after ``delay`` simulated seconds."""
+        """Run ``handler`` after ``delay`` simulated seconds.
+
+        ``shard`` is an optional affinity hint (typically the node id
+        the event concerns); the base kernel ignores it, the sharded
+        kernel uses it to route the event onto the owning shard's queue.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}s in the past")
-        event = _ScheduledEvent(
-            time=self.now + delay,
-            sequence=next(self._sequence),
-            handler=handler,
-            label=label,
-        )
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        # _checkout inlined: one call frame per scheduled event matters
+        # at tens of millions of events.
+        pool = self._pool
+        event = pool.pop() if pool else _ScheduledEvent()
+        event.time = time = self.now + delay
+        event.sequence = sequence = next(self._sequence)
+        event.handler = handler
+        event.label = label
+        event.cancelled = False
+        heappush(self._queue, (time, sequence, event))
+        return EventHandle(self, event)
 
     def schedule_at(
-        self, time: float, handler: Handler, label: str = ""
+        self,
+        time: float,
+        handler: Handler,
+        label: str = "",
+        shard: Optional[str] = None,
     ) -> EventHandle:
         """Run ``handler`` at absolute simulated time ``time``."""
-        return self.schedule(time - self.now, handler, label)
+        return self.schedule(time - self.now, handler, label, shard=shard)
 
     def schedule_periodic(
         self,
@@ -88,15 +249,24 @@ class Simulator:
         handler: Handler,
         label: str = "",
         jitter: float = 0.0,
+        stagger: bool = False,
+        rng: Optional[random.Random] = None,
+        shard: Optional[str] = None,
     ) -> Callable[[], None]:
         """Run ``handler`` every ``interval`` seconds until cancelled.
 
         Returns a zero-argument cancel function. ``jitter`` adds a
-        uniform random offset in ``[0, jitter)`` to each firing, which
-        keeps heartbeats of many nodes from synchronising artificially.
+        uniform random offset in ``[0, jitter)`` to **every** firing,
+        the first included, so all gaps lie in
+        ``[interval, interval + jitter)``. ``stagger=True`` additionally
+        draws the first firing's phase from ``[0, interval)`` — the
+        explicit opt-in that keeps heartbeats of many nodes from
+        synchronising artificially. ``rng`` selects the stream the
+        offsets are drawn from (default: the simulator's shared one).
         """
         if interval <= 0:
             raise SimulationError("periodic interval must be positive")
+        draw = rng if rng is not None else self.rng
         stopped = False
 
         def tick(sim: "Simulator") -> None:
@@ -104,11 +274,14 @@ class Simulator:
                 return
             handler(sim)
             if not stopped:
-                delay = interval + (sim.rng.uniform(0, jitter) if jitter else 0)
-                sim.schedule(delay, tick, label)
+                delay = interval + (draw.uniform(0, jitter) if jitter else 0)
+                sim.schedule(delay, tick, label, shard=shard)
 
-        first_delay = self.rng.uniform(0, interval) if jitter else interval
-        self.schedule(first_delay, tick, label)
+        if stagger:
+            first_delay = draw.uniform(0, interval)
+        else:
+            first_delay = interval + (draw.uniform(0, jitter) if jitter else 0)
+        self.schedule(first_delay, tick, label, shard=shard)
 
         def cancel() -> None:
             nonlocal stopped
@@ -118,16 +291,25 @@ class Simulator:
 
     # -- execution ----------------------------------------------------------------
 
+    def queue_depth(self) -> int:
+        """Live (non-cancelled) events currently queued."""
+        return len(self._queue) - self._cancelled_pending
+
     def step(self) -> bool:
         """Process one event; returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _seq, event = heappop(queue)
             if event.cancelled:
+                self._cancelled_pending -= 1
+                self._recycle(event)
                 continue
-            if event.time < self.now:
+            if time < self.now:
                 raise SimulationError("event queue went backwards in time")
-            self.now = event.time
-            event.handler(self)
+            self.now = time
+            handler = event.handler
+            self._recycle(event)
+            handler(self)
             self.events_processed += 1
             return True
         return False
@@ -145,31 +327,49 @@ class Simulator:
         the simulation — a cut-short run would otherwise report
         plausible but wrong metrics.
         """
+        queue = self._queue
         processed = 0
-        while self._queue and processed < max_events:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if until is not None and head.time > until:
-                break
-            self.step()
-            processed += 1
+        _gc_quiesce()
+        try:
+            # step() inlined: the peek-then-step split would touch the
+            # heap head twice per event.
+            while queue and processed < max_events:
+                time, _seq, event = queue[0]
+                if event.cancelled:
+                    heappop(queue)
+                    self._cancelled_pending -= 1
+                    self._recycle(event)
+                    continue
+                if until is not None and time > until:
+                    break
+                heappop(queue)
+                if time < self.now:
+                    raise SimulationError(
+                        "event queue went backwards in time"
+                    )
+                self.now = time
+                handler = event.handler
+                self._recycle(event)
+                handler(self)
+                self.events_processed += 1
+                processed += 1
+        finally:
+            _gc_restore()
         if processed >= max_events:
             # Drop cancelled entries so the truncation check sees the
             # first *live* pending event (a cancelled timer at the head
             # must not mask real unprocessed work).
-            while self._queue and self._queue[0].cancelled:
-                heapq.heappop(self._queue)
-            if self._queue and (
-                until is None or self._queue[0].time <= until
-            ):
+            while queue and queue[0][2].cancelled:
+                entry = heappop(queue)
+                self._cancelled_pending -= 1
+                self._recycle(entry[2])
+            if queue and (until is None or queue[0][0] <= until):
                 raise SimulationError(
                     f"event budget exhausted ({max_events} events) with "
-                    f"work pending at t={self._queue[0].time:.3f}; raise "
+                    f"work pending at t={queue[0][0]:.3f}; raise "
                     "max_events or shrink the workload"
                 )
-        if until is not None and (not self._queue or self.now < until):
+        if until is not None and (not queue or self.now < until):
             self.now = max(self.now, until)
 
     def run_for(self, duration: float) -> None:
