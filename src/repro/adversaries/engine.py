@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from ..core.economics import build_report
+from ..eth.cursor import EventCursor
 from .base import AdversaryAgent, AdversaryStrategy
 from .report import AgentReport, AttackReport, EconomicsSample
 
@@ -51,7 +52,7 @@ class AdversaryEngine:
         self.samples: List[EconomicsSample] = []
         self.epoch_index = 0
         self._commitment_to_agent: Dict[int, AdversaryAgent] = {}
-        self._chain_log_index = 0
+        self._cursor = EventCursor(net.chain, net.contract.address)
         self._stopped = False
         self._initial_balances: Dict[str, int] = {}
 
@@ -118,11 +119,7 @@ class AdversaryEngine:
 
     def _observe_chain(self, now: float) -> None:
         """Route fresh MemberRemoved events to their slashed agents."""
-        events = self.net.chain.events_since(self._chain_log_index)
-        for event in events:
-            self._chain_log_index = event.log_index + 1
-            if event.contract != self.net.contract.address:
-                continue
+        for event in self._cursor.poll():
             if event.name != "MemberRemoved":
                 continue
             agent = self._commitment_to_agent.get(event.args["pk"])

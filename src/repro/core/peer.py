@@ -23,6 +23,7 @@ from ..crypto.keys import IdentityCommitment, MembershipKeyPair
 from ..crypto.zksnark.groth16 import ProvingKey, VerifyingKey
 from ..errors import RateLimitError, RegistrationError
 from ..eth.chain import Blockchain
+from ..eth.cursor import EventCursor
 from ..net.network import Network, NodeId
 from ..rln.membership import LocalGroup, MembershipStore
 from ..rln.prover import RlnProver
@@ -46,7 +47,7 @@ TopicPayloadHandler = Callable[[str, bytes, str], None]
 #: duplicates are IGNOREd rather than REJECTed: the forwarding hop is
 #: usually an honest router that had not yet seen the first signal, so
 #: punishing it (P4) would let a spammer poison honest peers' scores.
-_OUTCOME_TO_GOSSIP = {
+OUTCOME_TO_GOSSIP = {
     ValidationOutcome.RELAY: ValidationResult.ACCEPT,
     ValidationOutcome.IGNORE_DUPLICATE: ValidationResult.IGNORE,
     ValidationOutcome.DROP_SPAM: ValidationResult.IGNORE,
@@ -54,6 +55,9 @@ _OUTCOME_TO_GOSSIP = {
     ValidationOutcome.REJECT_BAD_EPOCH: ValidationResult.REJECT,
     ValidationOutcome.REJECT_MALFORMED: ValidationResult.REJECT,
 }
+
+#: Backwards-compatible alias (pre-watchtower name).
+_OUTCOME_TO_GOSSIP = OUTCOME_TO_GOSSIP
 
 
 class WakuRlnRelayPeer:
@@ -117,6 +121,9 @@ class WakuRlnRelayPeer:
         #: and the Merkle tree) is shared across all of them.
         self.rln_topics: Dict[str, RlnMessageValidator] = {}
         self._slash_reporting = True
+        self._evidence_observers: List[
+            Callable[[SlashingEvidence], None]
+        ] = []
         # The primary topic is RLN-protected from birth; the same host
         # may join other (free or RLN) topics on the same relay node.
         self.validator = self._join_rln_topic(self.relay.pubsub_topic)
@@ -134,7 +141,7 @@ class WakuRlnRelayPeer:
         self.topic_payload_handlers: List[TopicPayloadHandler] = []
         self.slashes_submitted = 0
         self._slashes_reported: set = set()
-        self._synced_log_index = 0
+        self._cursor = EventCursor(chain, contract_address)
         self._membership_events_applied = 0
         #: pubsub topic -> epoch of this peer's last honest publish
         #: (the self-enforced one-message-per-epoch-per-topic limit).
@@ -173,6 +180,8 @@ class WakuRlnRelayPeer:
         )
         if self._slash_reporting:
             validator.on_spam(self._submit_slash)
+        for observer in self._evidence_observers:
+            validator.on_spam(observer)
         self.rln_topics[pubsub_topic] = validator
         self.relay.join_topic(pubsub_topic)
         self.relay.add_validator(
@@ -222,14 +231,19 @@ class WakuRlnRelayPeer:
             submitted_at=self.network.simulator.now,
         )
 
+    @property
+    def _synced_log_index(self) -> int:
+        """Event-log position of this peer's group sync (next unread)."""
+        return self._cursor.log_index
+
+    @_synced_log_index.setter
+    def _synced_log_index(self, value: int) -> None:
+        self._cursor.seek(value)
+
     def sync(self) -> int:
         """Apply new contract events to the local tree; returns #applied."""
-        events = self.chain.events_since(self._synced_log_index)
         applied = 0
-        for event in events:
-            self._synced_log_index = event.log_index + 1
-            if event.contract != self.contract_address:
-                continue
+        for event in self._cursor.poll():
             if event.name == "MemberRegistered":
                 commitment = IdentityCommitment(Fr(event.args["pk"]))
                 index = self.group.apply_registration(
@@ -431,9 +445,24 @@ class WakuRlnRelayPeer:
     ) -> ValidationResult:
         validator = self.rln_topics[pubsub_topic]
         report = validator.validate_bytes(message.rate_limit_proof)
-        return _OUTCOME_TO_GOSSIP[report.outcome]
+        return OUTCOME_TO_GOSSIP[report.outcome]
 
     # -- slashing ---------------------------------------------------------------------
+
+    def on_evidence(
+        self, observer: Callable[[SlashingEvidence], None]
+    ) -> None:
+        """Observe every double-signal this peer's validators uncover.
+
+        Purely observational — fires whether or not the peer itself
+        reports slashes (scenario runners use it to count offenders the
+        network *detected*, to compare against what actually settled
+        on-chain). Applies to every joined RLN topic, current and
+        future.
+        """
+        self._evidence_observers.append(observer)
+        for validator in self.rln_topics.values():
+            validator.on_spam(observer)
 
     def disable_slash_reporting(self) -> None:
         """Stop claiming slashing rewards for detected double-signals.

@@ -10,6 +10,7 @@ from .chain import (
     Transaction,
     TxContext,
 )
+from .cursor import EventCursor
 from .contracts import (
     MembershipContractBase,
     MembershipRegistry,
@@ -23,6 +24,7 @@ __all__ = [
     "Block",
     "Contract",
     "Event",
+    "EventCursor",
     "Receipt",
     "Transaction",
     "TxContext",

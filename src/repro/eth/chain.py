@@ -337,8 +337,42 @@ class Blockchain:
         self.receipts[tx.tx_hash] = receipt
         return receipt
 
+    # -- value transfers --------------------------------------------------------------
+
+    def transfer_value(self, sender: str, to: str, amount: int) -> None:
+        """Move ether directly between externally-owned accounts.
+
+        Plain value sends (delegation fees, watchtower payouts) — no
+        contract, no mempool latency, no gas modelled; both accounts
+        must already exist.
+        """
+        if amount < 0:
+            raise ChainError("cannot transfer a negative amount")
+        src = self.get_account(sender)
+        dst = self.get_account(to)
+        if src.balance < amount:
+            raise ChainError(
+                f"account {sender!r} holds {src.balance} wei; "
+                f"cannot transfer {amount}"
+            )
+        src.balance -= amount
+        dst.balance += amount
+
     # -- log access -----------------------------------------------------------------
 
-    def events_since(self, log_index: int) -> List[Event]:
-        """Events with ``log_index >= log_index`` (peer sync polling)."""
-        return self.event_log[log_index:]
+    #: Shared zero-allocation result for the (overwhelmingly common)
+    #: caught-up poll.
+    _NO_EVENTS: Tuple[Event, ...] = ()
+
+    def events_since(self, log_index: int) -> Tuple[Event, ...]:
+        """Events with ``log_index >= log_index`` (peer sync polling).
+
+        Returns an immutable view; the hot caught-up case (peers, the
+        adversary engine and watchtowers all poll every few simulated
+        seconds, events arrive only when a block seals) costs no
+        allocation at all.
+        """
+        log = self.event_log
+        if log_index >= len(log):
+            return self._NO_EVENTS
+        return tuple(log[log_index:])

@@ -25,20 +25,24 @@ from .spec import (
     AdversaryGroup,
     AdversaryMix,
     ChurnModel,
+    FaultPlan,
     ScenarioSpec,
     TopicSpec,
     TrafficModel,
+    WatchtowerSpec,
 )
 
 __all__ = [
     "AdversaryGroup",
     "AdversaryMix",
     "ChurnModel",
+    "FaultPlan",
     "ScenarioResult",
     "ScenarioRunner",
     "ScenarioSpec",
     "TopicSpec",
     "TrafficModel",
+    "WatchtowerSpec",
     "all_scenarios",
     "register_scenario",
     "run_scenario",

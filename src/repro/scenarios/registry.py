@@ -17,9 +17,11 @@ from .spec import (
     AdversaryGroup,
     AdversaryMix,
     ChurnModel,
+    FaultPlan,
     ScenarioSpec,
     TopicSpec,
     TrafficModel,
+    WatchtowerSpec,
 )
 
 _REGISTRY: Dict[str, ScenarioSpec] = {}
@@ -350,6 +352,100 @@ register_scenario(
                 ),
             ),
         ),
+        config_overrides=_CACHE,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="delegated-enforcement",
+        description=(
+            "Every honest peer delegates slash enforcement to one "
+            "watchtower service for a flat fee and turns its own "
+            "reporting off. Rotating sybils spam and rotate; the "
+            "watchtower alone detects the double-signals from its "
+            "event-sourced store, submits the slashes and splits each "
+            "reporter reward with its delegators."
+        ),
+        peers=150,
+        duration=150.0,
+        block_interval=5.0,
+        traffic=TrafficModel(messages_per_epoch=0.5, active_fraction=0.3),
+        adversaries=AdversaryMix(
+            groups=(
+                AdversaryGroup(
+                    strategy="rotating-sybil",
+                    count=2,
+                    budget_stakes=4,
+                    burst=4,
+                ),
+            ),
+        ),
+        watchtowers=WatchtowerSpec(count=1),
+        config_overrides=_CACHE,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="delegated-enforcement-crash",
+        description=(
+            "Crash-fault recovery: the only watchtower dies early in "
+            "the attack and restarts later from its persisted SQLite "
+            "store — replaying the chain from the committed cursor, "
+            "catching up on membership events that fired while it was "
+            "down and resubmitting whatever evidence never settled. "
+            "Offenders must still end up slashed exactly once."
+        ),
+        peers=150,
+        duration=100.0,
+        block_interval=5.0,
+        traffic=TrafficModel(messages_per_epoch=0.5, active_fraction=0.3),
+        adversaries=AdversaryMix(
+            groups=(
+                AdversaryGroup(
+                    strategy="burst-flood",
+                    count=2,
+                    budget_stakes=1,
+                    burst=4,
+                    params={"epochs": 2},
+                ),
+            ),
+        ),
+        watchtowers=WatchtowerSpec(count=1),
+        faults=(
+            FaultPlan("watchtower-0", crash_at=10.0, restart_at=25.0),
+        ),
+        config_overrides=_CACHE,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="delegated-enforcement-races",
+        description=(
+            "Two watchtowers compete for the same slash rewards: both "
+            "detect every double-signal and both submit, but the "
+            "contract accepts only the first transaction per offender "
+            "— the loser's reverts ('unknown member') and its evidence "
+            "resolves to a lost race. Exactly one successful slash per "
+            "offender, deterministically."
+        ),
+        peers=150,
+        duration=120.0,
+        block_interval=5.0,
+        traffic=TrafficModel(messages_per_epoch=0.5, active_fraction=0.3),
+        adversaries=AdversaryMix(
+            groups=(
+                AdversaryGroup(
+                    strategy="rotating-sybil",
+                    count=2,
+                    budget_stakes=3,
+                    burst=4,
+                ),
+            ),
+        ),
+        watchtowers=WatchtowerSpec(count=2),
         config_overrides=_CACHE,
     )
 )

@@ -44,6 +44,18 @@ class ScenarioResult:
     #: Adversary-engine economics (0 / empty without engine agents).
     attacker_spend: int = 0
     identity_rotations: int = 0
+    #: Delegated enforcement (all zero / empty without watchtowers;
+    #: the keys then stay out of to_dict so historical fingerprints
+    #: are untouched). Wei amounts are exact integers.
+    watchtower_rewards: int = 0
+    delegation_fees: int = 0
+    #: Offenders the network detected but never slashed on-chain.
+    missed_slashes: int = 0
+    #: Total simulated seconds watchtowers spent recovering after
+    #: restarts (replay + resubmission until evidence settled).
+    recovery_time: float = 0.0
+    #: Per-service breakdown: service id -> summary figures.
+    watchtowers: Dict[str, Dict[str, object]] = field(default_factory=dict)
     #: Column-oriented per-epoch series from the adversary engine
     #: (keys like ``t``, ``attacker_cost_wei``, ``spam_delivered``).
     series: Dict[str, List[float]] = field(default_factory=dict)
@@ -92,9 +104,20 @@ class ScenarioResult:
             },
             "counters": dict(sorted(self.counters.items())),
             "sim_time": self.sim_time,
+        }
+        if self.watchtowers:
+            out["watchtower_rewards"] = self.watchtower_rewards
+            out["delegation_fees"] = self.delegation_fees
+            out["missed_slashes"] = self.missed_slashes
+            out["recovery_time"] = round(self.recovery_time, 6)
+            out["watchtowers"] = {
+                name: dict(sorted(stats.items()))
+                for name, stats in sorted(self.watchtowers.items())
+            }
+        out.update({
             "events_processed": self.events_processed,
             "extras": {k: round(v, 6) for k, v in sorted(self.extras.items())},
-        }
+        })
         if include_wall_clock:
             out["wall_clock_seconds"] = self.wall_clock_seconds
         return out
@@ -117,8 +140,15 @@ class ScenarioResult:
         extras = data.pop("extras")
         series = data.pop("series")
         topics = data.pop("topics")
+        watchtowers = data.pop("watchtowers", None)
         for key, value in data.items():
             lines.append(f"  {key:<26} {value}")
+        if watchtowers:
+            lines.append("  watchtower services:")
+            for name, stats in watchtowers.items():
+                lines.append(f"    {name}:")
+                for key, value in stats.items():
+                    lines.append(f"      {key:<22} {value}")
         if topics:
             lines.append("  per-topic breakdown:")
             columns = (

@@ -15,6 +15,9 @@ the engine's per-epoch economics samples surface as the result's
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import time
 from typing import Dict, List, Optional, Set
 
@@ -28,6 +31,7 @@ from ..core.protocol import WakuRlnRelayNetwork
 from ..errors import RateLimitError, RegistrationError
 from ..sim.simulator import Simulator, quiescent_gc
 from ..waku.message import DEFAULT_PUBSUB_TOPIC, WakuMessage
+from ..watchtower import WatchtowerService
 from .result import ScenarioResult
 from .spec import ScenarioSpec
 
@@ -110,9 +114,18 @@ class ScenarioRunner:
         for topic in spec.topics:
             self._topic_subscribers[topic.name] = set()
             self._honest_subscribers[topic.name] = 0
+        #: Delegated enforcement (populated in :meth:`run` when the
+        #: spec configures watchtowers).
+        self._watchtowers: List[WatchtowerService] = []
+        self._watchtower_dir: Optional[str] = None
+        #: Offender pks any validator in the network detected
+        #: (double-signal evidence), slashed on-chain or not.
+        self._detected_pks: Set[int] = set()
         for peer in self.net.peers:
             self._wire_topics(peer, self.net.simulator.rng)
             self._attach_recorder(peer)
+            if spec.watchtowers is not None:
+                peer.on_evidence(self._note_evidence)
         self.net.on_peer_added(self._on_join)
 
     # -- wiring ----------------------------------------------------------------
@@ -144,6 +157,13 @@ class ScenarioRunner:
         self._honest_subscribers[DEFAULT_PUBSUB_TOPIC] += 1
         self._wire_topics(peer, self.net.simulator.rng)
         self._attach_recorder(peer)
+        if self.spec.watchtowers is not None:
+            peer.on_evidence(self._note_evidence)
+
+    def _note_evidence(self, evidence) -> None:
+        """Any validator in the network detected a double-signal; the
+        offender pk feeds the ``missed_slashes`` accounting."""
+        self._detected_pks.add(int(evidence.commitment.element))
 
     def _attach_recorder(self, peer: WakuRlnRelayPeer) -> None:
         counts = self._received.setdefault(peer.node_id, [0, 0])
@@ -288,6 +308,68 @@ class ScenarioRunner:
         engine.launch()
         return engine
 
+    def _build_watchtowers(self) -> None:
+        """Start the delegated-enforcement services and enroll the
+        delegating light peers (round-robin across services)."""
+        wspec = self.spec.watchtowers
+        if wspec is None:
+            return
+        self._watchtower_dir = tempfile.mkdtemp(prefix="watchtower-")
+        if wspec.topics:
+            topics = list(wspec.topics)
+        else:
+            # Default: every RLN-protected topic in the scenario.
+            topics = [DEFAULT_PUBSUB_TOPIC] + [
+                t.name for t in self.spec.topics if t.rln_protected
+            ]
+        for service_id in wspec.service_ids():
+            service = WatchtowerService(
+                self.net,
+                service_id,
+                store_path=os.path.join(
+                    self._watchtower_dir, f"{service_id}.sqlite"
+                ),
+                topics=topics,
+                reward_cut=wspec.reward_cut,
+                delegation_fee_wei=wspec.delegation_fee_wei,
+                sync_interval=wspec.sync_interval,
+                degree=wspec.degree,
+            )
+            service.start()
+            self._watchtowers.append(service)
+        honest = self._honest_peers()
+        if wspec.delegate_fraction >= 1.0:
+            delegators = honest
+        else:
+            count = round(len(honest) * wspec.delegate_fraction)
+            delegators = self.net.simulator.rng.sample(
+                honest, min(count, len(honest))
+            )
+        for index, peer in enumerate(delegators):
+            self._watchtowers[index % len(self._watchtowers)].delegate(
+                peer
+            )
+
+    def _schedule_faults(self) -> None:
+        """Arm the spec's crash/restart fault plans."""
+        if not self.spec.faults:
+            return
+        sim = self.net.simulator
+        by_id = {s.service_id: s for s in self._watchtowers}
+        for fault in self.spec.faults:
+            service = by_id[fault.target]
+            sim.schedule(
+                fault.crash_at,
+                lambda _sim, svc=service: svc.crash(),
+                label=f"fault-crash:{fault.target}",
+            )
+            if fault.restart_at is not None:
+                sim.schedule(
+                    fault.restart_at,
+                    lambda _sim, svc=service: svc.restart(),
+                    label=f"fault-restart:{fault.target}",
+                )
+
     def _schedule_churn(self) -> None:
         churn = self.spec.churn
         if not churn.active:
@@ -415,12 +497,16 @@ class ScenarioRunner:
 
         with quiescent_gc():
             net.register_all()
+            self._build_watchtowers()
             net.start()
             self._schedule_traffic()
             engine = self._schedule_adversaries()
             self._schedule_churn()
+            self._schedule_faults()
             net.run(spec.duration)
             net.stop()
+            for service in self._watchtowers:
+                service.stop()
 
         honest_receivers = [
             nid for nid in self._received if nid not in self._adversary_ids
@@ -439,6 +525,32 @@ class ScenarioRunner:
         members_slashed = sum(
             1 for e in chain_events if e.name == "MemberRemoved"
         )
+        # Delegated-enforcement accounting (all zero without services).
+        watchtower_summary: Dict[str, Dict[str, object]] = {}
+        watchtower_rewards = 0
+        delegation_fees = 0
+        recovery_time = 0.0
+        watchtower_submitted = 0
+        missed_slashes = 0
+        if self._watchtowers:
+            detected = set(self._detected_pks)
+            for service in self._watchtowers:
+                summary = service.summary()
+                watchtower_summary[service.service_id] = summary
+                watchtower_rewards += summary["rewards_wei"]
+                delegation_fees += summary["fees_wei"]
+                recovery_time += summary["recovery_time"]
+                watchtower_submitted += summary["submitted"]
+                detected.update(service.store.evidence_pks())
+                service.close()
+            slashed_pks = {
+                e.args["pk"]
+                for e in chain_events
+                if e.name == "MemberRemoved"
+            }
+            missed_slashes = len(detected - slashed_pks)
+        if self._watchtower_dir is not None:
+            shutil.rmtree(self._watchtower_dir, ignore_errors=True)
         counters = {
             name: value
             for name, value in sorted(metrics.counters.items())
@@ -515,7 +627,7 @@ class ScenarioRunner:
                 if honest_receivers
                 else 0.0
             ),
-            slashes_submitted=sum(
+            slashes_submitted=watchtower_submitted + sum(
                 p.slashes_submitted
                 for p in (net.peers + net.departed)
             ),
@@ -528,6 +640,11 @@ class ScenarioRunner:
             identity_rotations=(
                 attack_report.rotations if attack_report else 0
             ),
+            watchtower_rewards=watchtower_rewards,
+            delegation_fees=delegation_fees,
+            missed_slashes=missed_slashes,
+            recovery_time=recovery_time,
+            watchtowers=watchtower_summary,
             series=series,
             topics=topic_summary,
             proof_verifications=metrics.counter("rln.proof_verifications"),

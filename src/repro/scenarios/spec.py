@@ -174,6 +174,82 @@ class AdversaryMix:
 
 
 @dataclass(frozen=True)
+class WatchtowerSpec:
+    """Delegated enforcement: ``count`` watchtower services.
+
+    Each service attaches its own relay node to the overlay, watches
+    the protected topics (``topics`` names a subset; empty = all of
+    them) and submits slash transactions on behalf of its delegators.
+    ``delegate_fraction`` selects how many honest peers outsource
+    enforcement (they pay ``delegation_fee_wei`` once and stop
+    claiming slashes themselves); delegators are assigned round-robin
+    across the services. The service keeps ``reward_cut`` of every
+    won reporter reward and splits the rest evenly among its
+    delegators.
+    """
+
+    count: int = 1
+    reward_cut: float = 0.25
+    delegation_fee_wei: int = 10**15
+    delegate_fraction: float = 1.0
+    sync_interval: Optional[float] = None
+    degree: int = 6
+    topics: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ScenarioError("watchtowers need count >= 1")
+        if not 0.0 <= self.reward_cut <= 1.0:
+            raise ScenarioError("reward_cut must be within [0, 1]")
+        if not 0.0 <= self.delegate_fraction <= 1.0:
+            raise ScenarioError("delegate_fraction must be within [0, 1]")
+        if self.delegation_fee_wei < 0:
+            raise ScenarioError("delegation_fee_wei must be >= 0")
+        if self.degree < 1:
+            raise ScenarioError("watchtower degree must be >= 1")
+        if not isinstance(self.topics, tuple):
+            object.__setattr__(self, "topics", tuple(self.topics))
+
+    def service_ids(self) -> Tuple[str, ...]:
+        return tuple(f"watchtower-{i}" for i in range(self.count))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One crash/restart fault injected into a watchtower service.
+
+    ``target`` names a service (``watchtower-<i>``); at ``crash_at``
+    simulated seconds the service loses all in-memory state, its
+    timers and its overlay links; at ``restart_at`` (if given) it
+    recovers from its persisted SQLite store — replaying the chain
+    from the committed cursor and resubmitting pending evidence. No
+    restart means the service stays down for the rest of the run.
+    """
+
+    target: str
+    crash_at: float
+    restart_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.crash_at <= 0:
+            raise ScenarioError("crash_at must be positive")
+        if self.restart_at is not None and self.restart_at <= self.crash_at:
+            raise ScenarioError("restart_at must come after crash_at")
+
+    def rescaled(self, ratio: float) -> "FaultPlan":
+        """Fault times scaled with the scenario duration."""
+        return replace(
+            self,
+            crash_at=self.crash_at * ratio,
+            restart_at=(
+                self.restart_at * ratio
+                if self.restart_at is not None
+                else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
 class ChurnModel:
     """Peers joining and leaving while the network runs.
 
@@ -223,6 +299,11 @@ class ScenarioSpec:
     #: invariant in this value — it selects execution machinery, not
     #: workload semantics.
     shards: int = 1
+    #: Delegated enforcement: watchtower services watching the
+    #: protected topics on behalf of delegating peers (None = none).
+    watchtowers: Optional[WatchtowerSpec] = None
+    #: Crash/restart faults injected into watchtower services.
+    faults: Tuple[FaultPlan, ...] = ()
     #: Attribute overrides applied to the default :class:`ProtocolConfig`.
     config_overrides: Mapping[str, object] = field(default_factory=dict)
     #: Also run the same adversary against an unprotected baseline relay
@@ -270,6 +351,29 @@ class ScenarioSpec:
                     f"{len(group.target_topics)} target topics never "
                     "exceeds the per-topic rate limit; raise burst "
                     "above the target count or target fewer topics"
+                )
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+        if self.faults and self.watchtowers is None:
+            raise ScenarioError(
+                "faults target watchtower services; add a WatchtowerSpec"
+            )
+        if self.watchtowers is not None:
+            service_ids = set(self.watchtowers.service_ids())
+            for fault in self.faults:
+                if fault.target not in service_ids:
+                    raise ScenarioError(
+                        f"fault targets unknown service {fault.target!r}; "
+                        f"this scenario runs {sorted(service_ids)}"
+                    )
+            watchable = {DEFAULT_PUBSUB_TOPIC} | {
+                t.name for t in self.topics if t.rln_protected
+            }
+            unknown_watch = set(self.watchtowers.topics) - watchable
+            if unknown_watch:
+                raise ScenarioError(
+                    f"watchtowers watch topics that are not RLN-protected "
+                    f"topics of this scenario: {sorted(unknown_watch)}"
                 )
         unknown = set(self.config_overrides) - {
             f.name for f in ProtocolConfig.__dataclass_fields__.values()
@@ -332,8 +436,15 @@ class ScenarioSpec:
                             break
                     adversaries = replace(adversaries, groups=tuple(groups))
             spec = replace(spec, peers=peers, adversaries=adversaries)
-        if duration is not None:
-            spec = replace(spec, duration=duration)
+        if duration is not None and duration != spec.duration:
+            # Fault times track the run: a crash planned mid-run at
+            # full scale stays mid-run in a shrunk smoke run.
+            ratio = duration / spec.duration
+            spec = replace(
+                spec,
+                duration=duration,
+                faults=tuple(f.rescaled(ratio) for f in spec.faults),
+            )
         if seed is not None:
             spec = replace(spec, seed=seed)
         if shards is not None:
