@@ -88,7 +88,11 @@ EXPERIMENTS = {
 
 def _run_scenario_command(argv) -> int:
     """``run-scenario <name> [--peers N] [--duration S] [--seed K]
-    [--shards N] [--json]``"""
+    [--shards N] [--workers N] [--json]``
+
+    ``--workers`` opts into the window-isolated parallel mode
+    (``ScenarioSpec.parallel_workers``; forked workers when > 1 and
+    shards allow)."""
     from ..errors import ScenarioError
     from ..scenarios import run_scenario, scenario, scenario_names
 
@@ -97,7 +101,8 @@ def _run_scenario_command(argv) -> int:
         return 1
     name, flags = argv[0], argv[1:]
     overrides = {
-        "peers": None, "duration": None, "seed": None, "shards": None
+        "peers": None, "duration": None, "seed": None, "shards": None,
+        "workers": None,
     }
     as_json = False
     i = 0
@@ -118,6 +123,7 @@ def _run_scenario_command(argv) -> int:
             print(f"flag {flag!r} expects a number, got {flags[i + 1]!r}")
             return 1
         i += 2
+    overrides["parallel_workers"] = overrides.pop("workers")
     try:
         result = run_scenario(scenario(name), **overrides)
     except ScenarioError as exc:

@@ -335,6 +335,7 @@ class WakuRlnRelayPeer:
                 label=f"sync:{self.node_id}",
                 jitter=0.2,
                 stagger=True,
+                rng=sim.entity_rng(self.node_id),
                 shard=self.node_id,
             )
         )
@@ -345,6 +346,7 @@ class WakuRlnRelayPeer:
                 label=f"gc:{self.node_id}",
                 jitter=0.2,
                 stagger=True,
+                rng=sim.entity_rng(self.node_id),
                 shard=self.node_id,
             )
         )
@@ -416,6 +418,7 @@ class WakuRlnRelayPeer:
                 delay,
                 lambda _sim: self.relay.publish(message, topic=topic),
                 label=f"publish:{self.node_id}",
+                shard=self.node_id,
             )
             from ..gossipsub.rpc import compute_message_id
 

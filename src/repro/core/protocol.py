@@ -29,6 +29,7 @@ from ..rln.prover import rln_keys
 from ..rln.verifier import VerificationCache
 from ..sim.latency import LatencyModel, UniformLatency
 from ..sim.metrics import MetricsRegistry
+from ..sim.parallel_stack import WindowedStackSimulator
 from ..sim.shards import ShardedSimulator, ShardPlan
 from ..sim.simulator import Simulator
 from .config import ProtocolConfig
@@ -49,18 +50,48 @@ class WakuRlnRelayNetwork:
         latency: Optional[LatencyModel] = None,
         block_interval: float = ETH_BLOCK_INTERVAL_SECONDS,
         shards: int = 1,
+        parallel: bool = False,
+        parallel_window: Optional[float] = None,
+        shard_pins: Optional[Dict[str, int]] = None,
     ) -> None:
         self.config = config or ProtocolConfig()
-        if shards > 1:
+        self.parallel = parallel
+        latency = latency or UniformLatency(base_seconds=0.03)
+        peer_ids = [f"peer-{i}" for i in range(peer_count)]
+        if parallel:
+            # Window-isolated kernel: per-entity order keys and RNG
+            # streams, barrier windows bounded by the minimum latency,
+            # ports for cross-worker delivery. Results are invariant
+            # in shards *and* workers (the test matrix pins this) but
+            # intentionally a distinct mode from the lockstep-merge
+            # kernels: per-entity streams change individual draws.
+            window = parallel_window
+            if window is None:
+                window = latency.min_latency()
+            if window <= 0:
+                raise NetworkError(
+                    "parallel mode needs a positive barrier window; "
+                    f"{type(latency).__name__} has no usable minimum "
+                    "latency bound"
+                )
+            if window > latency.min_latency():
+                raise NetworkError(
+                    f"barrier window {window} exceeds the minimum "
+                    f"latency {latency.min_latency()}; cross-shard "
+                    "messages would land inside their own window"
+                )
+            plan = ShardPlan.blocked(peer_ids, shards, pins=shard_pins)
+            self.simulator: Simulator = WindowedStackSimulator(
+                seed=seed, plan=plan, window=window
+            )
+        elif shards > 1:
             # Contiguous id blocks as the "region" partition (matches
             # construction order); churn joiners hash-fall-back. The
             # sharded kernel merges on the global (time, seq) order, so
             # results are bit-identical to the unsharded kernel at any
             # shard count — shard_stats() reports the partition quality.
-            plan = ShardPlan.blocked(
-                [f"peer-{i}" for i in range(peer_count)], shards
-            )
-            self.simulator: Simulator = ShardedSimulator(
+            plan = ShardPlan.blocked(peer_ids, shards)
+            self.simulator = ShardedSimulator(
                 seed=seed, shards=shards, plan=plan
             )
         else:
@@ -68,7 +99,7 @@ class WakuRlnRelayNetwork:
         self.metrics: MetricsRegistry
         self.network = Network(
             simulator=self.simulator,
-            latency=latency or UniformLatency(base_seconds=0.03),
+            latency=latency,
         )
         self.metrics = self.network.metrics
         self.chain = Blockchain(block_interval=block_interval)
@@ -95,9 +126,13 @@ class WakuRlnRelayNetwork:
         self.proving_key = proving_key
         self.verifying_key = verifying_key
         #: Deployment-wide proof-verification memo (None = naive mode).
+        #: Parallel mode keeps it None and gives each peer a private
+        #: cache instead: a network-shared memo's hit pattern depends
+        #: on which worker verified a share first, so its counters
+        #: would not be partition-invariant.
         self.verification_cache: Optional[VerificationCache] = (
             VerificationCache(self.config.verification_cache_size)
-            if self.config.verification_cache_size > 0
+            if self.config.verification_cache_size > 0 and not parallel
             else None
         )
         #: Deployment-wide shared membership-tree store (None = every
@@ -129,6 +164,11 @@ class WakuRlnRelayNetwork:
         self._miner_cancel: Optional[Callable[[], None]] = None
 
     def _build_peer(self, node_id: NodeId) -> WakuRlnRelayPeer:
+        cache = self.verification_cache
+        if cache is None and self.parallel and (
+            self.config.verification_cache_size > 0
+        ):
+            cache = VerificationCache(self.config.verification_cache_size)
         return WakuRlnRelayPeer(
             node_id=node_id,
             network=self.network,
@@ -138,7 +178,7 @@ class WakuRlnRelayNetwork:
             proving_key=self.proving_key,
             verifying_key=self.verifying_key,
             rng=self.simulator.rng,
-            verification_cache=self.verification_cache,
+            verification_cache=cache,
             membership_store=self.membership_store,
         )
 

@@ -110,6 +110,12 @@ class CanonicalMerkleTree:
     def leaf_count_at(self, version: int) -> int:
         return self._leaf_counts[version]
 
+    def state_digest(self) -> Tuple[int, int, int]:
+        """``(version, head root, head leaf count)`` — a compact,
+        comparable summary of the whole event history (each version's
+        root commits to every event before it)."""
+        return (self.version, self._roots[-1], self._leaf_counts[-1])
+
     def apply(self, event: Event) -> Optional[int]:
         """Apply one event at the head; returns the index for inserts.
 

@@ -20,10 +20,33 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from hashlib import blake2b
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import ChainError, ContractError
 from .gas import DEFAULT_GAS_SCHEDULE, GasMeter, GasSchedule
+
+#: One replicated chain mutation: ``(kind, order_key, payload)`` where
+#: ``kind`` is ``"tx"`` (payload: a :class:`Transaction`) or
+#: ``"transfer"`` (payload: ``(sender, to, amount)``) and ``order_key``
+#: is the partition-invariant ``(time, origin, seq)`` the parallel
+#: kernel assigns. Plain tuples so ops pickle across worker pipes.
+ReplicaOp = Tuple[str, Tuple[float, str, int], Any]
+
+
+def _canonical_tx_hash(origin: str, seq: int) -> int:
+    """Deterministic tx hash derived from the op's origin key.
+
+    Replicas executing the same op stream must agree on every
+    ``tx_hash`` (receipts are looked up by it), and forked workers
+    cannot share the process-local counter the serial chain uses.
+    """
+    digest = blake2b(
+        f"tx:{origin}:{seq}".encode(), digest_size=8
+    ).digest()
+    # Keep it within a signed 64-bit integer: consumers persist tx
+    # hashes in sqlite (the watchtower evidence store).
+    return int.from_bytes(digest, "big") >> 1
 
 
 @dataclass
@@ -193,6 +216,16 @@ class Blockchain:
         self.event_log: List[Event] = []
         self.receipts: Dict[int, Receipt] = {}
         self.burnt_wei = 0
+        #: Replica mode (parallel full-stack runs): writes are queued
+        #: to an outbox instead of mutating state; the globally ordered
+        #: op stream is applied identically on every replica at each
+        #: barrier (see :meth:`enter_replica_mode`).
+        self._replica = False
+        self._key_source: Optional[
+            Callable[[], Tuple[float, str, int]]
+        ] = None
+        self._outbox: List[ReplicaOp] = []
+        self._next_block_time = block_interval
 
     # -- accounts ------------------------------------------------------------
 
@@ -245,6 +278,14 @@ class Blockchain:
             calldata_bytes=calldata_bytes,
             submitted_at=submitted_at,
         )
+        if self._replica:
+            # Replica mode: the tx is not locally pending — it joins
+            # the global op stream at the next barrier, with a hash
+            # every replica derives identically from the order key.
+            key = self._key_source()
+            tx.tx_hash = _canonical_tx_hash(key[1], key[2])
+            self._outbox.append(("tx", key, tx))
+            return tx
         self.mempool.append(tx)
         return tx
 
@@ -258,6 +299,11 @@ class Blockchain:
         calldata_bytes: int = 68,
     ) -> Receipt:
         """Submit and immediately mine a single-transaction block."""
+        if self._replica:
+            raise ChainError(
+                "call_now bypasses the barrier op stream; replicas "
+                "must transact and wait for the next barrier block"
+            )
         tx = self.transact(
             sender, contract, method, *args,
             value=value, calldata_bytes=calldata_bytes,
@@ -344,10 +390,21 @@ class Blockchain:
 
         Plain value sends (delegation fees, watchtower payouts) — no
         contract, no mempool latency, no gas modelled; both accounts
-        must already exist.
+        must already exist. In replica mode the send is deferred into
+        the barrier op stream so every replica applies it at the same
+        point of the global order.
         """
         if amount < 0:
             raise ChainError("cannot transfer a negative amount")
+        self.get_account(sender)
+        self.get_account(to)
+        if self._replica:
+            key = self._key_source()
+            self._outbox.append(("transfer", key, (sender, to, amount)))
+            return
+        self._apply_transfer(sender, to, amount)
+
+    def _apply_transfer(self, sender: str, to: str, amount: int) -> None:
         src = self.get_account(sender)
         dst = self.get_account(to)
         if src.balance < amount:
@@ -357,6 +414,84 @@ class Blockchain:
             )
         src.balance -= amount
         dst.balance += amount
+
+    # -- barrier replication ----------------------------------------------------------
+
+    def enter_replica_mode(
+        self,
+        key_source: Callable[[], Tuple[float, str, int]],
+        first_block_time: Optional[float] = None,
+    ) -> None:
+        """Switch to window-isolated replica semantics.
+
+        From here on, :meth:`transact`/:meth:`transfer_value` queue
+        partition-invariant ops to :meth:`drain_outbox` instead of
+        mutating local state, and blocks are produced inside
+        :meth:`replica_apply` on the fixed ``block_interval`` grid —
+        every replica fed the same globally sorted op stream ends up
+        bit-identical (state, receipts, event log, tx hashes).
+
+        ``key_source`` yields ``(time, origin, seq)`` order keys — the
+        parallel kernel's ``consume_order_key``. ``first_block_time``
+        defaults to ``block_interval``, matching the first firing of
+        the legacy periodic miner.
+        """
+        if self._replica:
+            raise ChainError("already in replica mode")
+        if self.mempool:
+            raise ChainError(
+                "cannot enter replica mode with transactions pending; "
+                "mine the build-phase mempool first"
+            )
+        self._replica = True
+        self._key_source = key_source
+        self._outbox = []
+        self._next_block_time = (
+            self.block_interval
+            if first_block_time is None
+            else first_block_time
+        )
+
+    @property
+    def is_replica(self) -> bool:
+        return self._replica
+
+    def drain_outbox(self) -> List[ReplicaOp]:
+        """Ops queued locally since the last barrier (cleared)."""
+        ops, self._outbox = self._outbox, []
+        return ops
+
+    @staticmethod
+    def order_ops(ops: List[ReplicaOp]) -> List[ReplicaOp]:
+        """The canonical global order: sort by ``(time, origin, seq)``."""
+        return sorted(ops, key=lambda op: op[1])
+
+    def replica_apply(self, ops: List[ReplicaOp], t_end: float) -> None:
+        """Apply one barrier's globally ordered ops up to ``t_end``.
+
+        Mining is interleaved on the block grid: a block with
+        timestamp ``b`` seals strictly before any op with
+        ``time >= b`` applies, so a tx submitted exactly at a block
+        time lands in the *next* block — the same rule at every shard
+        and worker count. Trailing blocks due by ``t_end`` (the window
+        boundary) are mined last, which makes them visible to every
+        event of the next window.
+        """
+        if not self._replica:
+            raise ChainError("replica_apply requires replica mode")
+        for kind, key, payload in ops:
+            while self._next_block_time <= key[0]:
+                self.mine_block(timestamp=self._next_block_time)
+                self._next_block_time += self.block_interval
+            if kind == "tx":
+                self.mempool.append(payload)
+            elif kind == "transfer":
+                self._apply_transfer(*payload)
+            else:
+                raise ChainError(f"unknown replica op kind {kind!r}")
+        while self._next_block_time <= t_end:
+            self.mine_block(timestamp=self._next_block_time)
+            self._next_block_time += self.block_interval
 
     # -- log access -----------------------------------------------------------------
 

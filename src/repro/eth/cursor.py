@@ -14,7 +14,7 @@ crashed process left off.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from .chain import Blockchain, Event
 
@@ -58,6 +58,20 @@ class EventCursor:
             return events
         matching = tuple(e for e in events if e.contract == contract)
         return matching if matching else self._NO_EVENTS
+
+    def catch_up(self, handler: Callable[[Event], None]) -> int:
+        """Replay every pending (filtered) event through ``handler``.
+
+        Returns the number of events handled. This is the one-call
+        form of the poll loop every event-sourced replica runs after a
+        gap — a watchtower restart, or a parallel worker rebuilding a
+        chain replica's derived state from a committed position.
+        """
+        count = 0
+        for event in self.poll():
+            handler(event)
+            count += 1
+        return count
 
     def peek_pending(self) -> bool:
         """Whether a poll right now would return anything new

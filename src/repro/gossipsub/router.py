@@ -137,6 +137,7 @@ class GossipSubRouter:
             label=f"heartbeat:{self.node_id}",
             jitter=0.1,
             stagger=True,
+            rng=self.network.simulator.entity_rng(self.node_id),
             shard=self.node_id,
         )
 
@@ -175,7 +176,7 @@ class GossipSubRouter:
         self.mesh.setdefault(topic, set())
         self._dirty_topics.add(topic)
         # Adopt fanout peers if we were publishing to this topic already.
-        for peer in self.fanout.pop(topic, set()):
+        for peer in sorted(self.fanout.pop(topic, ())):
             self._graft_peer(peer, topic)
         self._fanout_expiry.pop(topic, None)
         self._broadcast_control(RpcPacket(subscribe=[topic]))
@@ -186,7 +187,7 @@ class GossipSubRouter:
         if topic not in self.subscriptions:
             return
         self.subscriptions.discard(topic)
-        for peer in list(self.mesh.get(topic, ())):
+        for peer in sorted(self.mesh.get(topic, ())):
             self._prune_peer(peer, topic)
         self.mesh.pop(topic, None)
         self._dirty_topics.discard(topic)
@@ -233,7 +234,9 @@ class GossipSubRouter:
         else:
             targets = self._fanout_targets(topic)
         packet = RpcPacket(publish=[message])
-        for peer in targets:
+        # Sorted: set order leaks the interpreter's hash seed into the
+        # send sequence (and so into delivery order network-wide).
+        for peer in sorted(targets):
             self._send(peer, packet)
         # A publisher counts as having delivered its own message.
         self._deliver_locally(message, from_peer=self.node_id)
@@ -262,6 +265,7 @@ class GossipSubRouter:
                 self.processing_delay,
                 lambda _sim: self._process(from_peer, packet),
                 label=f"validate:{self.node_id}",
+                shard=self.node_id,
             )
             return
         self._process(from_peer, packet)
@@ -340,9 +344,10 @@ class GossipSubRouter:
         if not targets:
             return
         packet = RpcPacket(publish=[message])
-        # One packet fans out to the whole mesh; size it once.
+        # One packet fans out to the whole mesh; size it once. Sorted
+        # so the forward order never depends on the set hash order.
         size = packet.size_bytes
-        for peer in targets:
+        for peer in sorted(targets):
             self._send(peer, packet, size)
 
     def _handle_ihave(
@@ -480,7 +485,7 @@ class GossipSubRouter:
         # so the pruned peer can heal its degree elsewhere.
         suggestions = [
             p
-            for p in self.mesh.get(topic, set())
+            for p in sorted(self.mesh.get(topic, ()))
             if p != peer
             and (
                 not self.scores.maybe_negative(p)
@@ -497,9 +502,12 @@ class GossipSubRouter:
         neighbors = self.network.neighbor_set(self.node_id)
         # The threshold is negative; non-suspects pass without scoring
         # (the sort below computes their real score exactly once).
+        # Sorted base order: score ties must break on the peer id, not
+        # on the hash-seed-dependent set order (the stable sort below
+        # preserves the input order within equal scores).
         candidates = [
             peer
-            for peer in self.topic_peers.get(topic, set())
+            for peer in sorted(self.topic_peers.get(topic, ()))
             if peer in neighbors
             and (
                 not self.scores.maybe_negative(peer)
@@ -561,14 +569,16 @@ class GossipSubRouter:
     def _maintain_topic(self, topic: str) -> None:
         """One topic's mesh repair (identical in both bookkeeping modes;
         the modes only differ in *which* topics get here)."""
-        rng = self.network.simulator.rng
+        rng = self.network.simulator.entity_rng(self.node_id)
         mesh = self.mesh.setdefault(topic, set())
         self._dirty_topics.discard(topic)
         neighbors = self.network.neighbor_set(self.node_id)
         # Evict mesh members whose connection is gone (churn); they
         # re-enter through GRAFT after the backoff, and meanwhile
-        # the IHAVE/IWANT gossip path covers them.
-        for peer in [p for p in mesh if p not in neighbors]:
+        # the IHAVE/IWANT gossip path covers them. (All mesh scans are
+        # sorted: iteration order must not leak the hash seed into the
+        # prune/send sequence.)
+        for peer in [p for p in sorted(mesh) if p not in neighbors]:
             mesh.discard(peer)
             self.scores.prune(peer, topic, self.now)
             self._set_backoff(peer, topic, self.params.prune_backoff)
@@ -578,13 +588,13 @@ class GossipSubRouter:
         if self.params.batched_bookkeeping:
             negative = [
                 p
-                for p in mesh
+                for p in sorted(mesh)
                 if self.scores.maybe_negative(p)
                 and self.scores.score(p, self.now) < 0
             ]
         else:
             negative = [
-                p for p in mesh if self.scores.score(p, self.now) < 0
+                p for p in sorted(mesh) if self.scores.score(p, self.now) < 0
             ]
         for peer in negative:
             self._prune_peer(peer, topic)
@@ -604,17 +614,18 @@ class GossipSubRouter:
                 self._graft_peer(peer, topic)
         elif len(mesh) > self.params.d_hi:
             # Keep the best d_score peers, prune random others to d.
+            # Ties rank by peer id so the cut never depends on the
+            # hash-seed set order.
             ranked = sorted(
                 mesh,
-                key=lambda p: self.scores.score(p, self.now),
-                reverse=True,
+                key=lambda p: (-self.scores.score(p, self.now), p),
             )
             keep = set(ranked[: self.params.d_score])
             removable = [p for p in ranked[self.params.d_score :]]
             rng.shuffle(removable)
             while len(keep) < self.params.d and removable:
                 keep.add(removable.pop())
-            for peer in list(mesh - keep):
+            for peer in sorted(mesh - keep):
                 self._prune_peer(peer, topic)
         # A mesh still out of bounds (no eligible candidates yet) must
         # be revisited next heartbeat, exactly like the reference sweep
@@ -652,7 +663,7 @@ class GossipSubRouter:
     def _emit_gossip(self) -> None:
         """Advertise recent message IDs (IHAVE) to ``d_lazy`` non-mesh
         peers per topic with gossip-window traffic."""
-        rng = self.network.simulator.rng
+        rng = self.network.simulator.entity_rng(self.node_id)
         for topic in sorted(set(self.subscriptions) | set(self.fanout)):
             msg_ids = self.mcache.gossip_ids(topic)
             if not msg_ids:

@@ -61,6 +61,29 @@ class Network:
         # registry indirection is measurable at millions of sends.
         self._counters = self.metrics.counters
         self._latency_hist = self.metrics.histograms["net.latency"]
+        # Window-isolated kernels deliver through a registered port —
+        # a picklable (sender, receiver, packet) payload — so a
+        # delivery crossing a worker boundary needs no closure.
+        self._isolated = self.simulator.entity_isolated
+        if self._isolated:
+            self.simulator.register_port("net.deliver", self._deliver_port)
+            self.simulator.register_port("net.link_up", self._link_up_port)
+
+    def _deliver_port(self, payload: Any) -> None:
+        sender, receiver, packet = payload
+        target = self._nodes.get(receiver)
+        if target is None:
+            self.metrics.increment("net.packets_dead_lettered")
+            return
+        target.deliver(sender, packet)
+
+    def _link_up_port(self, payload: Any) -> None:
+        """The remote endpoint of a runtime dial learns of its new
+        link (see :meth:`connect`'s window-isolated branch)."""
+        node, peer = payload
+        if node not in self._nodes:
+            return
+        self._adjacency[node].add(peer)
 
     # -- membership ----------------------------------------------------------
 
@@ -99,6 +122,26 @@ class Network:
         for node_id in (a, b):
             if node_id not in self._nodes:
                 raise NetworkError(f"unknown node {node_id!r}")
+        if self._isolated and self.simulator.executing:
+            # A runtime dial (e.g. gossipsub Peer Exchange) under
+            # window isolation. Mutating ``b``'s adjacency here would
+            # be invisible to the worker that owns ``b`` — the classic
+            # hidden cross-shard write — so only the dialer's half
+            # commits synchronously (its own handler did it, which
+            # every partition replays identically); the remote half
+            # arrives as a port event one latency draw later, keyed
+            # and routed like any other cross-shard packet. ``a`` can
+            # send to ``b`` at once; ``b`` can answer only once its
+            # half lands — on every shard/worker layout alike.
+            if b in self._adjacency[a]:
+                return
+            self._adjacency[a].add(b)
+            self._link_total += 1
+            delay = self.latency.sample_latency(self.simulator.entity_rng(a))
+            self.simulator.schedule_port(
+                delay, "net.link_up", (b, a), label=f"link_up:{b}", shard=b
+            )
+            return
         if b not in self._adjacency[a]:
             self._adjacency[a].add(b)
             self._adjacency[b].add(a)
@@ -148,13 +191,33 @@ class Network:
         if receiver not in self._adjacency.get(sender, ()):
             self._counters["net.send_no_link"] += 1
             return False
-        rng = self.simulator.rng
+        # Loss and latency draw from the *sender's* stream: on the
+        # default kernels entity_rng is the shared stream (the
+        # historical behaviour, bit for bit), on the windowed kernel
+        # it makes the draw independent of shard/worker interleaving.
+        rng = self.simulator.entity_rng(sender)
         if self.latency.sample_loss(rng):
             self._counters["net.packets_lost"] += 1
             return False
         delay = self.latency.sample_latency(rng)
         self._counters["net.packets_sent"] += 1
         self._latency_hist.observe(delay)
+
+        label = self._deliver_labels.get(receiver)
+        if label is None:
+            label = self._deliver_labels[receiver] = f"deliver:{receiver}"
+
+        if self._isolated:
+            # Port form: same key, same order, but exportable across
+            # a worker boundary when the receiver lives elsewhere.
+            self.simulator.schedule_port(
+                delay,
+                "net.deliver",
+                (sender, receiver, packet),
+                label=label,
+                shard=receiver,
+            )
+            return True
 
         def deliver(sim: Simulator) -> None:
             # The receiver may have churned out while in flight.
@@ -164,9 +227,6 @@ class Network:
                 return
             target.deliver(sender, packet)
 
-        label = self._deliver_labels.get(receiver)
-        if label is None:
-            label = self._deliver_labels[receiver] = f"deliver:{receiver}"
         # The receiver is the delivery's shard affinity: a sharded
         # kernel queues the event where the receiving node lives.
         self.simulator.schedule(delay, deliver, label=label, shard=receiver)

@@ -14,7 +14,7 @@ already applied the ``k+1``-th membership event.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..constants import DEFAULT_MERKLE_DEPTH
 from ..crypto.field import Fr
@@ -204,6 +204,15 @@ class MembershipStore:
     @property
     def domains(self) -> List[str]:
         return sorted(self._canonicals)
+
+    def digest(self) -> Dict[str, Tuple[int, int, int]]:
+        """Per-domain canonical-state digests — what parallel workers
+        compare at the final barrier to assert their independently
+        event-sourced stores converged."""
+        return {
+            domain: tree.state_digest()
+            for domain, tree in sorted(self._canonicals.items())
+        }
 
     def stats(self) -> Dict[str, int]:
         """Aggregate sharing counters across all domains."""

@@ -1,0 +1,420 @@
+"""Barrier drivers for window-isolated parallel scenario runs.
+
+Two drivers share one barrier protocol — identical barrier times,
+identical chain-op ordering, identical spam-probe feed — which is what
+makes the worker axis of the equivalence matrix hold: a forked run
+*is* the in-process run with serialization boundaries inserted.
+
+In-process (``workers == 1``): one
+:class:`~repro.sim.parallel_stack.WindowedStackSimulator` owns every
+shard. Each barrier drains the chain outbox, sorts it on the
+partition-invariant ``(time, origin, seq)`` key and applies it back to
+the single chain (a replica fed by itself).
+
+Forked (``workers > 1``): the stack is built once and ``os.fork``-ed
+per worker — copy-on-write clones of the fully built network. Each
+child narrows its kernel to a contiguous shard group; the parent owns
+no shards and coordinates: it routes cross-worker port packets by
+destination shard, merges every worker's chain ops into one globally
+sorted stream that all replicas (its own included) apply, and feeds
+the barrier-synced spam-delivery probe. Everything on the pipes is a
+plain picklable tuple — no closures cross a process boundary.
+
+After the final barrier the parent verifies every worker's chain
+fingerprint against its own replica (divergence is a hard error, not a
+statistic) and merges the workers' measurement state back into the
+runner, so result aggregation downstream is mode-blind.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import traceback
+from collections import defaultdict
+from hashlib import blake2b
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..eth.chain import Blockchain, ReplicaOp
+from ..sim.parallel_stack import PortPacket
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..adversaries.engine import AdversaryEngine
+    from ..adversaries.report import AttackReport
+    from .runner import ScenarioRunner
+
+
+def barrier_times(
+    duration: float, window: float
+) -> Iterator[Tuple[float, float, bool]]:
+    """Yield ``(t_prev, t_end, final)`` barrier windows covering
+    ``[0, duration]``. Every driver derives its windows from here, so
+    barrier times are bit-identical across worker counts."""
+    t = 0.0
+    while t < duration:
+        t_end = min(t + window, duration)
+        yield t, t_end, t_end >= duration
+        t = t_end
+
+
+def contiguous_groups(shards: int, workers: int) -> List[range]:
+    """Split ``range(shards)`` into ``workers`` contiguous groups."""
+    base, extra = divmod(shards, workers)
+    groups: List[range] = []
+    start = 0
+    for index in range(workers):
+        size = base + (1 if index < extra else 0)
+        groups.append(range(start, start + size))
+        start += size
+    return groups
+
+
+def chain_fingerprint(chain: Blockchain) -> Tuple[int, int, int, str]:
+    """Compact digest of a replica's entire observable chain state."""
+    digest = blake2b(digest_size=16)
+    for event in chain.event_log:
+        digest.update(
+            repr(
+                (
+                    event.name,
+                    sorted(event.args.items()),
+                    event.block_number,
+                    event.log_index,
+                )
+            ).encode()
+        )
+    return (
+        len(chain.blocks),
+        chain.burnt_wei,
+        len(chain.event_log),
+        digest.hexdigest(),
+    )
+
+
+# -- in-process driver --------------------------------------------------------
+
+
+def drive_in_process(
+    runner: "ScenarioRunner", engine: Optional["AdversaryEngine"]
+) -> Optional["AttackReport"]:
+    """Drive all shards on this process through the barrier protocol."""
+    net = runner.net
+    sim = net.simulator
+    chain = net.chain
+    duration = runner.spec.duration
+    for _t_prev, t_end, final in barrier_times(duration, sim.window):
+        sim.run_window(t_end, final=final)
+        ops = chain.order_ops(chain.drain_outbox())
+        chain.replica_apply(ops, t_end)
+        if sim.drain_exports():
+            raise SimulationError(
+                "in-process driver owns every shard; nothing may export"
+            )
+        runner._spam_feed = runner._spam_delivered_total()
+    return engine.report() if engine is not None else None
+
+
+# -- forked driver ------------------------------------------------------------
+
+
+def _send(pipe, message: object) -> None:
+    pickle.dump(message, pipe, protocol=pickle.HIGHEST_PROTOCOL)
+    pipe.flush()
+
+
+def _recv(pipe):
+    message = pickle.load(pipe)
+    if message[0] == "error":
+        raise SimulationError(
+            f"parallel worker failed:\n{message[1]}"
+        )
+    return message
+
+
+def _spam_partial(runner: "ScenarioRunner") -> int:
+    """This worker's spam deliveries: only owned peers' recorders ever
+    fire here, so the full-population sum *is* the partial."""
+    return runner._spam_delivered_total()
+
+
+def _child_bundle(
+    runner: "ScenarioRunner",
+    engine: Optional["AdversaryEngine"],
+    group: range,
+) -> Dict[str, object]:
+    net = runner.net
+    bundle: Dict[str, object] = {
+        "received": runner._received,
+        "topic_counts": runner._topic_counts,
+        "topic_published": runner._topic_published,
+        "topic_expected": runner._topic_expected,
+        "honest_published": runner._honest_published,
+        "expected_deliveries": runner._expected_deliveries,
+        "detected_pks": runner._detected_pks,
+        "slashes": {
+            p.node_id: p.slashes_submitted for p in net.peers
+        },
+        "counters": dict(net.metrics.counters),
+        "events_processed": net.simulator.events_processed,
+        "chain_fp": chain_fingerprint(net.chain),
+        "report": None,
+        "watchtowers": None,
+    }
+    if 0 in group:
+        # Shard 0 hosts every pinned global: the adversary engine's
+        # agents and the watchtower services, so this worker alone
+        # holds their live measurement state.
+        if engine is not None:
+            bundle["report"] = engine.report()
+        rows = []
+        evidence = set()
+        for service in runner._watchtowers:
+            rows.append((service.service_id, service.summary()))
+            evidence.update(service.store.evidence_pks())
+            service.close()
+        bundle["watchtowers"] = (rows, evidence)
+    return bundle
+
+
+def _child_loop(
+    runner: "ScenarioRunner",
+    engine: Optional["AdversaryEngine"],
+    group: range,
+    down,
+    up,
+) -> None:
+    net = runner.net
+    sim = net.simulator
+    chain = net.chain
+    sim.restrict_to(frozenset(group))
+    if 0 in group and runner._watchtowers:
+        # Stores were closed before the fork (a sqlite connection must
+        # not cross one); the owning worker reconnects.
+        for service in runner._watchtowers:
+            service.store.open()
+    while True:
+        message = pickle.load(down)
+        kind = message[0]
+        if kind in ("window", "flush"):
+            if kind == "window":
+                _, t_prev, t_end, final, packets, ops, feed = message
+                chain.replica_apply(ops, t_prev)
+                runner._spam_feed = feed
+            else:
+                _, t_end, packets = message
+                final = True
+            if packets:
+                sim.inject(packets)
+            sim.run_window(t_end, final=final)
+            _send(
+                up,
+                (
+                    "ok",
+                    sim.drain_exports(),
+                    chain.drain_outbox(),
+                    _spam_partial(runner),
+                ),
+            )
+        elif kind == "finish":
+            _, t_final, ops = message
+            chain.replica_apply(ops, t_final)
+            _send(up, ("done", _child_bundle(runner, engine, group)))
+            return
+        else:  # pragma: no cover - protocol misuse
+            raise SimulationError(f"unknown coordinator message {kind!r}")
+
+
+def drive_forked(
+    runner: "ScenarioRunner",
+    engine: Optional["AdversaryEngine"],
+    workers: int,
+) -> Optional["AttackReport"]:
+    """Fork ``workers`` children, each owning a contiguous shard
+    group, and coordinate them barrier by barrier. Returns the attack
+    report (shipped from the shard-0 worker) and merges all worker
+    measurement state into ``runner``."""
+    net = runner.net
+    sim = net.simulator
+    chain = net.chain
+    duration = runner.spec.duration
+    groups = contiguous_groups(sim.plan.shard_count, workers)
+    owner_of: Dict[int, int] = {}
+    for index, group in enumerate(groups):
+        for shard in group:
+            owner_of[shard] = index
+
+    counters_base = dict(net.metrics.counters)
+    events_base = sim.events_processed
+    for service in runner._watchtowers:
+        service.store.close()
+
+    children: List[Tuple[int, object, object]] = []
+    for group in groups:
+        down_r, down_w = os.pipe()
+        up_r, up_w = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            status = 1
+            try:
+                os.close(down_w)
+                os.close(up_r)
+                for _pid, sibling_down, sibling_up in children:
+                    sibling_down.close()
+                    sibling_up.close()
+                down = os.fdopen(down_r, "rb")
+                up = os.fdopen(up_w, "wb")
+                try:
+                    _child_loop(runner, engine, group, down, up)
+                    status = 0
+                except BaseException:
+                    try:
+                        _send(up, ("error", traceback.format_exc()))
+                    except Exception:
+                        pass
+            finally:
+                os._exit(status)
+        os.close(down_r)
+        os.close(up_w)
+        children.append(
+            (pid, os.fdopen(down_w, "wb"), os.fdopen(up_r, "rb"))
+        )
+
+    try:
+        packets_for: List[List[PortPacket]] = [[] for _ in groups]
+        ops: List[ReplicaOp] = []
+        feed = 0
+
+        def collect() -> List[ReplicaOp]:
+            """Gather one round of replies: route exports, sum the
+            spam probe, return the round's raw ops."""
+            nonlocal feed
+            gathered: List[ReplicaOp] = []
+            feed = 0
+            for _pid, _down, up in children:
+                _kind, exports, child_ops, spam = _recv(up)
+                gathered.extend(child_ops)
+                feed += spam
+                for packet in exports:
+                    if packet[2] > duration:
+                        # Lands after the run ends — the in-process
+                        # driver leaves these in the heap unexecuted.
+                        continue
+                    packets_for[owner_of[packet[0]]].append(packet)
+            return gathered
+
+        for t_prev, t_end, final in barrier_times(duration, sim.window):
+            for index, (_pid, down, _up) in enumerate(children):
+                _send(
+                    down,
+                    (
+                        "window",
+                        t_prev,
+                        t_end,
+                        final,
+                        packets_for[index],
+                        ops,
+                        feed,
+                    ),
+                )
+            chain.replica_apply(ops, t_prev)
+            packets_for = [[] for _ in groups]
+            ops = chain.order_ops(collect())
+
+        # Flush round: cross-worker packets landing at exactly
+        # t == duration were produced inside the final (inclusive)
+        # window; the in-process driver executes them in that same
+        # window, so forked workers must get one more chance to. The
+        # flush's ops join the final window's batch — in-process they
+        # drain together.
+        for index, (_pid, down, _up) in enumerate(children):
+            _send(down, ("flush", duration, packets_for[index]))
+        packets_for = [[] for _ in groups]
+        ops = chain.order_ops(ops + collect())
+
+        for _pid, down, _up in children:
+            _send(down, ("finish", duration, ops))
+        chain.replica_apply(ops, duration)
+
+        bundles = []
+        for _pid, _down, up in children:
+            _kind, bundle = _recv(up)
+            bundles.append(bundle)
+    finally:
+        for pid, down, up in children:
+            try:
+                down.close()
+                up.close()
+            except Exception:
+                pass
+            os.waitpid(pid, 0)
+
+    return _merge(runner, bundles, counters_base, events_base, duration)
+
+
+def _merge(
+    runner: "ScenarioRunner",
+    bundles: List[Dict[str, object]],
+    counters_base: Dict[str, int],
+    events_base: int,
+    duration: float,
+) -> Optional["AttackReport"]:
+    net = runner.net
+    sim = net.simulator
+    parent_fp = chain_fingerprint(net.chain)
+    for bundle in bundles:
+        if bundle["chain_fp"] != parent_fp:
+            raise SimulationError(
+                "replica chains diverged across workers: "
+                f"{bundle['chain_fp']} != {parent_fp}"
+            )
+
+    # Event-level state: each datum was produced on exactly one worker
+    # (recorders fire on the receiver's shard, publishers count on
+    # their own), so plain sums/unions reassemble the global totals.
+    for bundle in bundles:
+        for node_id, row in bundle["received"].items():
+            mine = runner._received.setdefault(node_id, [0, 0])
+            mine[0] += row[0]
+            mine[1] += row[1]
+        for name, row in bundle["topic_counts"].items():
+            totals = runner._topic_counts[name]
+            totals[0] += row[0]
+            totals[1] += row[1]
+        for name, value in bundle["topic_published"].items():
+            runner._topic_published[name] += value
+        for name, value in bundle["topic_expected"].items():
+            runner._topic_expected[name] += value
+        runner._honest_published += bundle["honest_published"]
+        runner._expected_deliveries += bundle["expected_deliveries"]
+        runner._detected_pks |= bundle["detected_pks"]
+
+    slash_totals: Dict[str, int] = defaultdict(int)
+    for bundle in bundles:
+        for node_id, count in bundle["slashes"].items():
+            slash_totals[node_id] += count
+    for peer in net.peers:
+        peer.slashes_submitted = slash_totals.get(peer.node_id, 0)
+
+    # Counters forked with a shared build-time baseline; the total is
+    # the baseline plus every worker's delta beyond it.
+    merged: Dict[str, int] = defaultdict(int)
+    merged.update(counters_base)
+    for bundle in bundles:
+        for name, value in bundle["counters"].items():
+            merged[name] += value - counters_base.get(name, 0)
+    net.metrics.counters.clear()
+    net.metrics.counters.update(merged)
+
+    sim.events_processed = events_base + sum(
+        bundle["events_processed"] - events_base for bundle in bundles
+    )
+    sim.now = duration
+
+    report = None
+    for bundle in bundles:
+        if bundle["report"] is not None:
+            report = bundle["report"]
+        if bundle["watchtowers"] is not None:
+            runner._wt_override = bundle["watchtowers"]
+    return report

@@ -32,6 +32,7 @@ from ..errors import RateLimitError, RegistrationError
 from ..sim.simulator import Simulator, quiescent_gc
 from ..waku.message import DEFAULT_PUBSUB_TOPIC, WakuMessage
 from ..watchtower import WatchtowerService
+from .parallel import drive_forked, drive_in_process
 from .result import ScenarioResult
 from .spec import ScenarioSpec
 
@@ -56,6 +57,19 @@ class ScenarioRunner:
 
     def __init__(self, spec: ScenarioSpec) -> None:
         self.spec = spec
+        pins: Optional[Dict[str, int]] = None
+        if spec.parallel_workers:
+            # Globals that execute as shard-0 events (the adversary
+            # engine, watchtower delegation) mutate their subjects
+            # directly, so those subjects must be co-resident with
+            # shard 0 — pin the adversary tail and the services there.
+            pins = {}
+            tail = spec.adversaries.total_count
+            for index in range(spec.peers - tail, spec.peers):
+                pins[f"peer-{index}"] = 0
+            if spec.watchtowers is not None:
+                for service_id in spec.watchtowers.service_ids():
+                    pins[service_id] = 0
         # Building thousands of peers allocates millions of long-lived
         # objects; keep the collector from rescanning the growing graph.
         with quiescent_gc():
@@ -66,7 +80,18 @@ class ScenarioRunner:
                 degree=spec.degree,
                 block_interval=spec.block_interval,
                 shards=spec.shards,
+                parallel=bool(spec.parallel_workers),
+                parallel_window=spec.parallel_window,
+                shard_pins=pins,
             )
+        #: Barrier-fed cumulative spam-delivery count (parallel mode):
+        #: the engine's probe reads this instead of the live recorder
+        #: sum, so adaptive adversaries see the same value at the same
+        #: tick on every shard/worker cell.
+        self._spam_feed = 0
+        #: Forked-mode override for watchtower aggregation, shipped
+        #: from the shard-0 worker: ``(rows, evidence_pks)``.
+        self._wt_override: Optional[tuple] = None
         #: node_id -> [honest deliveries, spam deliveries]
         self._received: Dict[str, List[int]] = {}
         #: Every adversary — legacy burst spammers and engine agents —
@@ -240,7 +265,13 @@ class ScenarioRunner:
                 if len(topics) == 1:
                     topic = topics[0]
                 else:
-                    topic = rng.choices(topics, weights)[0]
+                    # The publisher's own stream: the shared rng on
+                    # the lockstep kernels (identical draws to the
+                    # historical behaviour), a private per-entity
+                    # stream on the windowed kernel.
+                    topic = _sim.entity_rng(target.node_id).choices(
+                        topics, weights
+                    )[0]
                 payload = (
                     HONEST_MARKER
                     + f"{target.node_id}|{seq[0]}".encode()
@@ -266,14 +297,22 @@ class ScenarioRunner:
 
             self.net.simulator.schedule(
                 traffic.start + rng.uniform(0, interval),
-                lambda sim, fn=publish: self._periodic(sim, fn, interval),
+                lambda sim, fn=publish, nid=peer.node_id: self._periodic(
+                    sim, fn, interval, nid
+                ),
                 label=f"traffic:{peer.node_id}",
+                shard=peer.node_id,
             )
 
-    def _periodic(self, sim: Simulator, fn, interval: float) -> None:
+    def _periodic(
+        self, sim: Simulator, fn, interval: float, shard=None
+    ) -> None:
         fn(sim)
         sim.schedule(
-            interval, lambda s: self._periodic(s, fn, interval), "traffic"
+            interval,
+            lambda s: self._periodic(s, fn, interval, shard),
+            "traffic",
+            shard=shard,
         )
 
     def _schedule_adversaries(self) -> Optional[AdversaryEngine]:
@@ -286,7 +325,14 @@ class ScenarioRunner:
         engine = AdversaryEngine(
             self.net,
             start=mix.start,
-            spam_delivered_probe=self._spam_delivered_total,
+            # Parallel runs feed the probe at barriers (a worker only
+            # sees its own peers' deliveries live); the lockstep
+            # kernels read the recorders directly.
+            spam_delivered_probe=(
+                (lambda: self._spam_feed)
+                if self.spec.parallel_workers
+                else self._spam_delivered_total
+            ),
         )
         stake = self.net.config.stake_wei
         tail = self.net.peers[len(self.net.peers) - mix.total_count :]
@@ -490,23 +536,58 @@ class ScenarioRunner:
 
     # -- execution ------------------------------------------------------------------
 
+    def _run_windowed(self):
+        """Drive the run on the windowed kernel behind barrier sync.
+
+        Build steps (registration mining, watchtower delegation, agent
+        funding) mutate the chain directly and identically on every
+        cell; the chain then switches to replica mode so every runtime
+        mutation joins the globally ordered barrier op stream. Blocks
+        are produced by :meth:`~repro.eth.chain.Blockchain.replica_apply`
+        on the block grid, so the periodic miner stays off."""
+        spec = self.spec
+        net = self.net
+        sim = net.simulator
+        with quiescent_gc():
+            net.register_all()
+            self._build_watchtowers()
+            net.start(mine_blocks=False)
+            self._schedule_traffic()
+            engine = self._schedule_adversaries()
+            net.chain.enter_replica_mode(sim.consume_order_key)
+            workers = min(spec.parallel_workers, spec.shards)
+            if workers <= 1:
+                report = drive_in_process(self, engine)
+                net.stop()
+                for service in self._watchtowers:
+                    service.stop()
+            else:
+                report = drive_forked(self, engine, workers)
+        return report
+
     def run(self) -> ScenarioResult:
         spec = self.spec
         started_wall = time.perf_counter()
         net = self.net
 
-        with quiescent_gc():
-            net.register_all()
-            self._build_watchtowers()
-            net.start()
-            self._schedule_traffic()
-            engine = self._schedule_adversaries()
-            self._schedule_churn()
-            self._schedule_faults()
-            net.run(spec.duration)
-            net.stop()
-            for service in self._watchtowers:
-                service.stop()
+        if spec.parallel_workers:
+            attack_report = self._run_windowed()
+        else:
+            with quiescent_gc():
+                net.register_all()
+                self._build_watchtowers()
+                net.start()
+                self._schedule_traffic()
+                engine = self._schedule_adversaries()
+                self._schedule_churn()
+                self._schedule_faults()
+                net.run(spec.duration)
+                net.stop()
+                for service in self._watchtowers:
+                    service.stop()
+            attack_report = (
+                engine.report() if engine is not None else None
+            )
 
         honest_receivers = [
             nid for nid in self._received if nid not in self._adversary_ids
@@ -533,16 +614,25 @@ class ScenarioRunner:
         watchtower_submitted = 0
         missed_slashes = 0
         if self._watchtowers:
-            detected = set(self._detected_pks)
-            for service in self._watchtowers:
-                summary = service.summary()
-                watchtower_summary[service.service_id] = summary
+            if self._wt_override is not None:
+                # Forked parallel run: summaries and evidence shipped
+                # from the worker that owned the services (this
+                # process's service objects are stale fork copies).
+                rows, evidence = self._wt_override
+            else:
+                rows = []
+                evidence = set()
+                for service in self._watchtowers:
+                    rows.append((service.service_id, service.summary()))
+                    evidence.update(service.store.evidence_pks())
+                    service.close()
+            detected = set(self._detected_pks) | set(evidence)
+            for service_id, summary in rows:
+                watchtower_summary[service_id] = summary
                 watchtower_rewards += summary["rewards_wei"]
                 delegation_fees += summary["fees_wei"]
                 recovery_time += summary["recovery_time"]
                 watchtower_submitted += summary["submitted"]
-                detected.update(service.store.evidence_pks())
-                service.close()
             slashed_pks = {
                 e.args["pk"]
                 for e in chain_events
@@ -561,10 +651,12 @@ class ScenarioRunner:
             extras["verification_cache_hit_rate"] = (
                 net.verification_cache.hit_rate
             )
-        if net.membership_store is not None:
+        if net.membership_store is not None and not spec.parallel_workers:
             # How much replica hashing the shared store absorbed: each
             # deduped event would have cost O(depth) hashes in an
-            # independent replica.
+            # independent replica. (Parallel runs skip these: forked
+            # workers each hold a private store copy, so the sharing
+            # counters are per-partition artifacts, not run facts.)
             store_stats = net.membership_store.stats()
             extras["membership_events"] = float(store_stats["events"])
             extras["membership_events_deduped"] = float(
@@ -595,7 +687,6 @@ class ScenarioRunner:
         # rather than re-derived from the burn fraction.
         stake_lost = members_slashed * net.contract.stake_wei
         reporter_rewards = stake_lost - net.chain.burnt_wei
-        attack_report = engine.report() if engine is not None else None
         series: Dict[str, List[float]] = (
             attack_report.series_dict() if attack_report else {}
         )
@@ -663,8 +754,9 @@ def run_scenario(
     duration: Optional[float] = None,
     seed: Optional[int] = None,
     shards: Optional[int] = None,
+    parallel_workers: Optional[int] = None,
 ) -> ScenarioResult:
     """Run ``spec`` (optionally rescaled) and return its result."""
     return ScenarioRunner(
-        spec.scaled(peers, duration, seed, shards)
+        spec.scaled(peers, duration, seed, shards, parallel_workers)
     ).run()

@@ -309,6 +309,17 @@ class ScenarioSpec:
     #: Also run the same adversary against an unprotected baseline relay
     #: and record the comparison in ``ScenarioResult.extras``.
     compare_baseline: bool = False
+    #: Opt-in window-isolated parallel mode: 0 = off (the default
+    #: lockstep kernels), >= 1 = run the full stack on the windowed
+    #: kernel with barrier-synced chain replicas. Workers beyond
+    #: ``shards`` are clamped; 1 worker drives the same barrier
+    #: protocol in-process. Results are invariant in *both* shards
+    #: and workers, but the mode draws from per-entity RNG streams,
+    #: so they intentionally differ from the lockstep kernels'.
+    parallel_workers: int = 0
+    #: Barrier window length in simulated seconds (None = the latency
+    #: model's minimum latency, the widest sound window).
+    parallel_window: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.peers < 2:
@@ -382,6 +393,30 @@ class ScenarioSpec:
             raise ScenarioError(
                 f"unknown ProtocolConfig overrides: {sorted(unknown)}"
             )
+        if self.parallel_workers < 0:
+            raise ScenarioError("parallel_workers must be >= 0")
+        if self.parallel_workers:
+            # Window isolation covers message passing and chain ops;
+            # churn rewires topology and faults mutate services from a
+            # global driver — neither has a barrier-safe form yet.
+            if self.churn.active:
+                raise ScenarioError(
+                    "parallel mode does not support churn yet"
+                )
+            if self.faults:
+                raise ScenarioError(
+                    "parallel mode does not support fault injection yet"
+                )
+            if self.compare_baseline:
+                raise ScenarioError(
+                    "parallel mode does not support compare_baseline; "
+                    "run the baseline comparison in the default mode"
+                )
+            if (
+                self.parallel_window is not None
+                and self.parallel_window <= 0
+            ):
+                raise ScenarioError("parallel_window must be positive")
 
     @property
     def topic_names(self) -> Tuple[str, ...]:
@@ -397,6 +432,7 @@ class ScenarioSpec:
         duration: Optional[float] = None,
         seed: Optional[int] = None,
         shards: Optional[int] = None,
+        parallel_workers: Optional[int] = None,
     ) -> "ScenarioSpec":
         """A copy resized for quick runs, adversary mix rescaled with it."""
         spec = self
@@ -449,4 +485,6 @@ class ScenarioSpec:
             spec = replace(spec, seed=seed)
         if shards is not None:
             spec = replace(spec, shards=shards)
+        if parallel_workers is not None:
+            spec = replace(spec, parallel_workers=parallel_workers)
         return spec

@@ -24,6 +24,18 @@ class LatencyModel:
     def sample_latency(self, rng: random.Random) -> float:
         return self.base_seconds
 
+    def min_latency(self) -> float:
+        """A proven lower bound on every latency sample.
+
+        The parallel full-stack kernel sizes its barrier window to
+        this bound: any message sent inside window ``[t0, t1)`` with
+        ``t1 - t0 <= min_latency()`` arrives at or after ``t1``, so
+        cross-shard traffic never lands inside the window it was sent
+        in. Models whose samples can get arbitrarily close to zero
+        must return 0.0 (which rejects them for parallel runs).
+        """
+        return self.base_seconds
+
     def sample_loss(self, rng: random.Random) -> bool:
         if self.loss_probability <= 0:
             return False
@@ -61,3 +73,8 @@ class LogNormalLatency(LatencyModel):
 
         sample = self.base_seconds * math.exp(rng.gauss(0.0, self.sigma))
         return min(sample, self.max_seconds)
+
+    def min_latency(self) -> float:
+        # exp(gauss) has unbounded support below, so no useful bound
+        # exists; parallel runs reject this model.
+        return 0.0

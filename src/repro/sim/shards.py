@@ -75,6 +75,12 @@ class ShardPlan:
 
     ``None`` keys (events that concern no particular node: the miner,
     scenario drivers) map to shard 0.
+
+    ``pins`` forces specific keys onto specific shards regardless of
+    strategy — the full-stack parallel mode pins entities that must be
+    co-resident with the shard-0 globals (adversary agents driven by
+    the engine, watchtower services) so a worker owning shard 0 owns
+    everything those globals touch synchronously.
     """
 
     def __init__(
@@ -82,6 +88,7 @@ class ShardPlan:
         shard_count: int,
         strategy: str = "hash",
         keys: Optional[Sequence[str]] = None,
+        pins: Optional[Dict[str, int]] = None,
     ) -> None:
         if shard_count < 1:
             raise SimulationError("shard_count must be >= 1")
@@ -100,6 +107,13 @@ class ShardPlan:
             block = -(-len(keys) // shard_count)  # ceil division
             for i, key in enumerate(keys):
                 self._assignment[key] = min(i // block, shard_count - 1)
+        if pins:
+            for key, shard in pins.items():
+                if not 0 <= shard < shard_count:
+                    raise SimulationError(
+                        f"pin {key!r} -> {shard} outside [0, {shard_count})"
+                    )
+                self._assignment[key] = shard
 
     @classmethod
     def hashed(cls, shard_count: int) -> "ShardPlan":
@@ -107,9 +121,12 @@ class ShardPlan:
 
     @classmethod
     def blocked(
-        cls, keys: Sequence[str], shard_count: int
+        cls,
+        keys: Sequence[str],
+        shard_count: int,
+        pins: Optional[Dict[str, int]] = None,
     ) -> "ShardPlan":
-        return cls(shard_count, strategy="block", keys=keys)
+        return cls(shard_count, strategy="block", keys=keys, pins=pins)
 
     def shard_of(self, key: Optional[str]) -> int:
         if key is None:

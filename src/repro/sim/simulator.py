@@ -168,6 +168,34 @@ class Simulator:
         """
         return self.rng
 
+    def entity_rng(self, key: object) -> random.Random:
+        """The stream an *entity's hot path* should draw from.
+
+        Distinct from :meth:`stream`: protocol code (routers, peers,
+        the network's loss/latency draws) calls this on every send and
+        every maintenance tick, and the contract is that the default
+        kernels keep it on the shared stream — bit-identical to the
+        historical behaviour — while the window-isolated parallel
+        kernel returns a private per-entity stream so an entity's
+        draws do not depend on which shard or worker executes it.
+        """
+        return self.rng
+
+    @property
+    def entity_isolated(self) -> bool:
+        """True when this kernel gives each entity a private RNG
+        stream and enforces window isolation (the parallel full-stack
+        kernel); protocol code uses it to pick port-based delivery
+        over closure scheduling."""
+        return False
+
+    @property
+    def executing(self) -> bool:
+        """True while the kernel is inside its event loop — i.e. the
+        caller is an event handler rather than build-phase wiring. The
+        base kernel never needs the distinction."""
+        return False
+
     # -- scheduling ------------------------------------------------------------
 
     def _checkout(

@@ -230,6 +230,7 @@ class WatchtowerService:
                 label=f"watchtower:{self.service_id}",
                 jitter=0.2,
                 stagger=True,
+                rng=sim.entity_rng(self.service_id),
                 shard=self.service_id,
             )
         )
@@ -240,6 +241,7 @@ class WatchtowerService:
                 label=f"watchtower-gc:{self.service_id}",
                 jitter=0.2,
                 stagger=True,
+                rng=sim.entity_rng(self.service_id),
                 shard=self.service_id,
             )
         )
@@ -286,8 +288,9 @@ class WatchtowerService:
         now = self.net.simulator.now
         store = self.store
         store.begin()
-        for event in self._cursor.poll():
-            self._apply_event(event, enforce=True, now=now)
+        self._cursor.catch_up(
+            lambda event: self._apply_event(event, enforce=True, now=now)
+        )
         self._submit_pending(now)
         store.commit_cursor(self._cursor.log_index)
         store.commit()

@@ -1,0 +1,155 @@
+"""Serial-vs-parallel equivalence: the shard × worker test matrix.
+
+Parallel mode (``parallel_workers``) runs the full stack on the
+window-isolated kernel — per-entity RNG streams, barrier-synced chain
+replicas, cross-worker port packets. Its correctness claim is that the
+partition is *invisible*: every cell of the shards × workers matrix
+must fingerprint bit-identically to the mode's serial reference, the
+(shards=1, workers=1) cell. That includes the forked cells, where the
+chain state peers observe was reassembled from pickled op streams and
+the measurements were merged across real OS processes.
+
+The reference is the parallel mode's own (1, 1) cell, *not* the
+lockstep kernels: per-entity RNG streams intentionally change
+individual draws, so the two modes are distinct seeded universes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError, ScenarioError
+from repro.scenarios import run_scenario, scenario
+from repro.scenarios.spec import ScenarioSpec
+
+PEERS = 24
+DURATION = 8.0
+
+#: Every (shards, workers) cell the tentpole claims equivalence for.
+MATRIX = [(s, w) for s in (1, 2, 4) for w in (1, 2, 4)]
+
+_reference_cache = {}
+
+
+def _cell(name, shards, workers):
+    return run_scenario(
+        scenario(name).scaled(peers=PEERS, duration=DURATION),
+        shards=shards,
+        parallel_workers=workers,
+    )
+
+
+def _reference(name):
+    if name not in _reference_cache:
+        _reference_cache[name] = _cell(name, 1, 1)
+    return _reference_cache[name]
+
+
+@pytest.mark.parametrize("shards,workers", MATRIX)
+@pytest.mark.parametrize(
+    "name", ["rotating-sybil-economics", "delegated-enforcement"]
+)
+def test_matrix_cell_matches_serial_reference(name, shards, workers):
+    reference = _reference(name)
+    result = _cell(name, shards, workers)
+    assert result.fingerprint() == reference.fingerprint()
+
+
+def test_matrix_economics_invariance():
+    """The money trail — the paper's cost-of-attack claim — survives
+    partitioning: slashes, burns, rewards, fees and the per-epoch
+    economics series are equal on every cell, not just the digest."""
+    reference = _reference("delegated-enforcement")
+    assert reference.members_slashed > 0, "attack must actually settle"
+    for shards, workers in [(2, 2), (4, 4)]:
+        result = _cell("delegated-enforcement", shards, workers)
+        assert result.members_slashed == reference.members_slashed
+        assert result.stake_burnt == reference.stake_burnt
+        assert result.reporter_rewards == reference.reporter_rewards
+        assert result.watchtower_rewards == reference.watchtower_rewards
+        assert result.delegation_fees == reference.delegation_fees
+        assert result.attacker_spend == reference.attacker_spend
+        assert result.identity_rotations == reference.identity_rotations
+        assert result.series == reference.series
+
+
+def test_deep_run_equivalence_through_peer_exchange():
+    """Equivalence through the Peer-Exchange regime. Short runs never
+    PRUNE with PX, so they cannot catch a runtime topology rewire that
+    leaks across the partition (a dial used to mutate the remote
+    endpoint's adjacency synchronously — invisible to the worker
+    owning it, and forked runs drifted after ~15 simulated seconds).
+    The dial count is asserted non-zero so this test can never pass
+    vacuously by staying out of that regime."""
+    from dataclasses import replace
+
+    from repro.scenarios.runner import ScenarioRunner
+
+    spec = scenario("delegated-enforcement").scaled(
+        peers=PEERS, duration=30.0
+    )
+    ref_runner = ScenarioRunner(replace(spec, shards=1, parallel_workers=1))
+    reference = ref_runner.run()
+    assert ref_runner.net.metrics.counters["gossipsub.px_dials"] > 0, (
+        "deep run must actually reach the PX-dial regime"
+    )
+    for shards, workers in [(2, 2), (4, 4)]:
+        result = run_scenario(spec, shards=shards, parallel_workers=workers)
+        assert result.fingerprint() == reference.fingerprint()
+
+
+def test_parallel_mode_is_deterministic_across_repeats():
+    first = _cell("rotating-sybil-economics", 2, 2)
+    second = _cell("rotating-sybil-economics", 2, 2)
+    assert first.fingerprint() == second.fingerprint()
+
+
+def test_excess_workers_clamp_to_shard_count():
+    reference = _reference("rotating-sybil-economics")
+    result = _cell("rotating-sybil-economics", 2, 4)
+    assert result.fingerprint() == reference.fingerprint()
+
+
+def test_parallel_spec_rejects_churn_faults_and_baseline():
+    base = dict(
+        name="x", description="x", peers=8, parallel_workers=2
+    )
+    from repro.scenarios.spec import ChurnModel, FaultPlan, WatchtowerSpec
+
+    with pytest.raises(ScenarioError, match="churn"):
+        ScenarioSpec(
+            **base,
+            churn=ChurnModel(join_interval=1.0, max_joins=2),
+        )
+    with pytest.raises(ScenarioError, match="fault"):
+        ScenarioSpec(
+            **base,
+            watchtowers=WatchtowerSpec(count=1),
+            faults=(FaultPlan(target="watchtower-0", crash_at=1.0),),
+        )
+    with pytest.raises(ScenarioError, match="baseline"):
+        ScenarioSpec(**base, compare_baseline=True)
+    with pytest.raises(ScenarioError, match="parallel_window"):
+        ScenarioSpec(**base, parallel_window=0.0)
+    with pytest.raises(ScenarioError, match="parallel_workers"):
+        ScenarioSpec(name="x", description="x", parallel_workers=-1)
+
+
+def test_window_wider_than_minimum_latency_rejected():
+    spec = scenario("rotating-sybil-economics").scaled(
+        peers=PEERS, duration=DURATION
+    )
+    from dataclasses import replace
+
+    wide = replace(spec, parallel_workers=1, parallel_window=10.0)
+    with pytest.raises(NetworkError, match="minimum"):
+        run_scenario(wide)
+
+
+def test_parallel_results_skip_partition_dependent_extras():
+    """Shared verification-cache hit rates and membership-store
+    sharing counters depend on which worker saw a message first; the
+    parallel result must not report them."""
+    result = _cell("delegated-enforcement", 2, 2)
+    assert "verification_cache_hit_rate" not in result.extras
+    assert "membership_events" not in result.extras
