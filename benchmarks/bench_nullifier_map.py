@@ -56,6 +56,98 @@ def test_prune_cost(benchmark, signal_stream):
     benchmark(nmap.prune, 19)
 
 
+def test_gc_vs_unbounded_memory(record_table, bench_scale):
+    """Epoch-grid GC (auto_prune) vs an unpruned map over a long run.
+
+    Streams ``epochs`` x ``senders`` signals through both maps and
+    tracks live entries / modeled bytes; the GC'd map must plateau at
+    (2*thr + 1) epochs of entries while the unbounded map grows
+    linearly. tracemalloc peak over the whole stream goes into
+    ``meta.peak_memory_bytes`` (the schema's well-known footprint
+    field).
+    """
+    import tracemalloc
+
+    epochs = bench_scale.n(200, 12)
+    senders = bench_scale.n(40, 5)
+    thr = 2
+    rng = random.Random(29)
+    pk, _vk = rln_keys(seed=b"bench-e9-gc")
+    tree = MerkleTree(10)
+    provers = []
+    for _ in range(senders):
+        pair = MembershipKeyPair.generate(rng)
+        index = tree.insert(pair.commitment.element)
+        provers.append((RlnProver(keypair=pair, proving_key=pk), index))
+
+    gc_map = NullifierMap(thr=thr, auto_prune=True)
+    unbounded = NullifierMap(thr=thr)
+    rows = []
+    report_at = {1, epochs // 4, epochs // 2, 3 * epochs // 4, epochs - 1}
+    tracemalloc.start()
+    for epoch in range(epochs):
+        for prover, index in provers:
+            signal = prover.create_signal(
+                f"e{epoch}".encode(), epoch, tree.proof(index)
+            )
+            gc_map.observe(signal)
+            unbounded.observe(signal)
+        if epoch in report_at:
+            rows.append(
+                (
+                    epoch,
+                    gc_map.entry_count,
+                    gc_map.storage_bytes(),
+                    unbounded.entry_count,
+                    unbounded.storage_bytes(),
+                )
+            )
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    record_table(
+        "e9_nullifier_gc_memory",
+        f"E9b: epoch-grid GC vs unbounded map "
+        f"({senders} senders x {epochs} epochs, thr={thr})",
+        (
+            "epoch",
+            "entries (gc)",
+            "bytes (gc)",
+            "entries (unbounded)",
+            "bytes (unbounded)",
+        ),
+        rows,
+        note="auto_prune drops buckets the moment a new latest epoch "
+        "appears; live state is bounded by (2*thr+1) epochs while the "
+        "unpruned map grows linearly with run length.",
+        meta={
+            "epochs": epochs,
+            "senders_per_epoch": senders,
+            "thr": thr,
+            "gc_final_entries": gc_map.entry_count,
+            "gc_pruned_entries": gc_map.auto_pruned_entries,
+            "unbounded_final_entries": unbounded.entry_count,
+            "peak_memory_bytes": int(peak),
+        },
+    )
+    # GC'd map plateaus: steady state holds exactly (thr+1) epochs'
+    # worth (epochs behind the head beyond thr are dropped, future
+    # epochs have not happened).
+    steady = [row[1] for row in rows[1:]]
+    assert len(set(steady)) == 1
+    assert steady[0] == (thr + 1) * senders
+    assert gc_map.epoch_count <= 2 * thr + 1
+    # Conservation: every observed entry is either live or GC'd.
+    assert (
+        gc_map.entry_count + gc_map.auto_pruned_entries
+        == unbounded.entry_count
+    )
+    unbounded_growth = [row[3] for row in rows]
+    assert unbounded_growth == sorted(unbounded_growth)
+    if not bench_scale.quick:
+        assert unbounded.entry_count > 10 * gc_map.entry_count
+
+
 def test_regenerate_e9_table(record_table):
     headers, rows = nullifier_map_experiment(
         epochs=40, senders_per_epoch=30, thr=2

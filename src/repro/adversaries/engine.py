@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from ..core.economics import build_report
 from ..eth.cursor import EventCursor
+from ..sim.metrics import BoundedSeries
 from .base import AdversaryAgent, AdversaryStrategy
 from .report import AgentReport, AttackReport, EconomicsSample
 
@@ -43,13 +44,22 @@ class AdversaryEngine:
         net: "WakuRlnRelayNetwork",
         start: float = 2.0,
         spam_delivered_probe: Optional[Callable[[], int]] = None,
+        max_series_samples: Optional[int] = None,
     ) -> None:
         self.net = net
         self.start = start
         #: Runner-supplied: cumulative spam deliveries to honest peers.
         self.spam_delivered_probe = spam_delivered_probe or (lambda: 0)
         self.agents: List[AdversaryAgent] = []
-        self.samples: List[EconomicsSample] = []
+        #: One economics sample per epoch tick. Unbounded by default
+        #: (every epoch is kept); a scenario with streaming metrics on
+        #: caps it with a BoundedSeries so a 10k-epoch run holds O(cap)
+        #: samples, uniformly decimated over the whole run.
+        self.samples = (
+            BoundedSeries(max_series_samples)
+            if max_series_samples is not None
+            else []
+        )
         self.epoch_index = 0
         self._commitment_to_agent: Dict[int, AdversaryAgent] = {}
         self._cursor = EventCursor(net.chain, net.contract.address)

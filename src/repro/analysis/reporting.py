@@ -128,6 +128,13 @@ def validate_experiment_payload(payload: Dict[str, Any]) -> None:
     for key, value in meta.items():
         if not isinstance(key, str) or not isinstance(value, _SCALAR_TYPES):
             fail(f"meta entry {key!r} must map a string to a scalar")
+    # Optional well-known meta field: benchmarks that measure memory
+    # record their tracemalloc peak here so the perf trajectory can
+    # track footprint alongside wall-clock.
+    if "peak_memory_bytes" in meta:
+        peak = meta["peak_memory_bytes"]
+        if not isinstance(peak, int) or isinstance(peak, bool) or peak < 0:
+            fail("meta.peak_memory_bytes must be a non-negative integer")
 
 
 def human_bytes(size: float) -> str:

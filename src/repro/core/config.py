@@ -65,8 +65,33 @@ class ProtocolConfig:
     #: paper's literal reading — which the equivalence property tests
     #: prove bit-identical (same roots, root windows, decisions).
     shared_membership_store: bool = True
+    #: Shard the shared canonical membership tree into fixed-capacity
+    #: sub-trees of this depth under a top-level root-of-roots (the
+    #: tree-of-trees registry, :mod:`repro.crypto.merkle_forest`).
+    #: Root-equivalent to the flat tree at matched capacity; enables
+    #: bulk genesis registration and lazy sub-tree interiors. None
+    #: keeps the flat canonical tree. Requires
+    #: ``shared_membership_store`` and ``0 < sub_depth < merkle_depth``.
+    membership_sub_depth: Optional[int] = None
+    #: Garbage-collect nullifier buckets on the epoch grid itself
+    #: (drop buckets > thr epochs behind the newest *seen* epoch the
+    #: moment it appears) instead of waiting for the periodic
+    #: housekeeping timer. Bounds per-validator nullifier state to
+    #: O(active senders x window) at any instant. Off by default: a
+    #: stale signal re-sent before the timer fires classifies as a
+    #: duplicate with lazy GC but as epoch-expired with eager GC, so
+    #: flipping this is behaviour-visible (and fingerprint-visible).
+    eager_nullifier_gc: bool = False
     performance_model: PerformanceModel = DEFAULT_PERFORMANCE_MODEL
     gossip: GossipSubParams = field(default_factory=GossipSubParams)
+
+    def __post_init__(self) -> None:
+        sub = self.membership_sub_depth
+        if sub is not None and not 0 < sub < self.merkle_depth:
+            raise ValueError(
+                f"membership_sub_depth must satisfy 0 < {sub} < "
+                f"merkle_depth ({self.merkle_depth})"
+            )
 
     @property
     def thr(self) -> int:

@@ -36,13 +36,28 @@ class NullifierRecord:
 
 
 class NullifierMap:
-    """Sliding-window map ``epoch -> internal nullifier -> record``."""
+    """Sliding-window map ``epoch -> internal nullifier -> record``.
 
-    def __init__(self, thr: int) -> None:
+    With ``auto_prune`` on, garbage collection rides the epoch grid
+    itself: the moment a bucket for a *new latest* epoch is created,
+    every bucket at distance > ``thr`` from it is dropped — O(1)
+    amortised, no timer needed, and live state stays bounded by
+    ``(2 thr + 1)`` epochs regardless of run length. Off (the default),
+    pruning only happens when :meth:`prune` is called explicitly (the
+    peers' periodic housekeeping timer), preserving the exact
+    observation timing of earlier revisions.
+    """
+
+    def __init__(self, thr: int, auto_prune: bool = False) -> None:
         if thr < 1:
             raise ValueError("thr must be at least 1")
         self.thr = thr
+        self.auto_prune = auto_prune
         self._epochs: Dict[int, Dict[Fr, NullifierRecord]] = {}
+        self._max_epoch: Optional[int] = None
+        #: Entries dropped by epoch-grid GC (stat; explicit prune() not
+        #: included).
+        self.auto_pruned_entries = 0
 
     # -- core operation ---------------------------------------------------------
 
@@ -57,9 +72,16 @@ class NullifierMap:
         """
         check, prior = self.peek(signal)
         if check is NullifierCheck.NEW:
-            self._epochs.setdefault(signal.epoch, {})[
-                signal.internal_nullifier
-            ] = NullifierRecord(
+            epoch = signal.epoch
+            bucket = self._epochs.get(epoch)
+            if bucket is None:
+                bucket = self._epochs[epoch] = {}
+                if self.auto_prune and (
+                    self._max_epoch is None or epoch > self._max_epoch
+                ):
+                    self._max_epoch = epoch
+                    self.auto_pruned_entries += self.prune(epoch)
+            bucket[signal.internal_nullifier] = NullifierRecord(
                 share_x=signal.share.x,
                 share_y=signal.share.y,
                 signal=signal,

@@ -175,7 +175,10 @@ class WakuRlnRelayPeer:
         validator = RlnMessageValidator(
             verifier=verifier,
             epoch_tracker=self.epoch_tracker,
-            nullifier_map=NullifierMap(self.config.thr),
+            nullifier_map=NullifierMap(
+                self.config.thr,
+                auto_prune=self.config.eager_nullifier_gc,
+            ),
             metrics=self.network.metrics,
         )
         if self._slash_reporting:
@@ -251,6 +254,15 @@ class WakuRlnRelayPeer:
                 )
                 if commitment == self.commitment:
                     self.leaf_index = index
+                self._membership_events_applied += 1
+                applied += 1
+            elif event.name == "MembersRegistered":
+                # Genesis batch: one event, applied through the tree's
+                # bulk-build path (dormant identities, so no own-slot
+                # check is needed — this peer registers transactionally).
+                self.group.apply_registration_batch(
+                    event.args["pks"], self._membership_events_applied
+                )
                 self._membership_events_applied += 1
                 applied += 1
             elif event.name == "MemberRemoved":

@@ -38,6 +38,30 @@ from .peer import WakuRlnRelayPeer
 CONTRACT_ADDRESS = "contract:membership"
 
 
+def genesis_commitments(count: int, seed: int = 0) -> tuple:
+    """Deterministic identity commitments for a genesis member list.
+
+    Dormant identities never publish, so they need no key material —
+    only distinct non-zero field elements for the membership leaves.
+    Derived with blake2b directly (not the configured circuit hash):
+    the genesis list is deployment *data*, and a million-entry list
+    must not cost a million poseidon permutations under the slow
+    backend nor perturb ``hash_call_count`` accounting.
+    """
+    from hashlib import blake2b
+
+    from ..crypto.field import Fr
+
+    prefix = b"genesis-member:%d:" % seed
+    out = []
+    for i in range(count):
+        digest = blake2b(
+            prefix + str(i).encode(), digest_size=32
+        ).digest()
+        out.append(Fr(int.from_bytes(digest, "big"))._value or 1)
+    return tuple(out)
+
+
 class WakuRlnRelayNetwork:
     """A ready-to-run Waku-RLN-Relay deployment in one object."""
 
@@ -53,8 +77,10 @@ class WakuRlnRelayNetwork:
         parallel: bool = False,
         parallel_window: Optional[float] = None,
         shard_pins: Optional[Dict[str, int]] = None,
+        pre_registered: int = 0,
     ) -> None:
         self.config = config or ProtocolConfig()
+        self.pre_registered = pre_registered
         self.parallel = parallel
         latency = latency or UniformLatency(base_seconds=0.03)
         peer_ids = [f"peer-{i}" for i in range(peer_count)]
@@ -121,6 +147,29 @@ class WakuRlnRelayNetwork:
                 f"unknown contract design {self.config.contract_design!r}"
             )
         self.contract = self.chain.deploy(contract)
+        if pre_registered:
+            # Genesis member list: identities registered at deploy time
+            # (the "huge membership, small active set" regime the paper
+            # targets). Baked into the contract state and announced to
+            # peers with one batch seed event, which replicas apply via
+            # the tree's bulk-build path instead of a per-identity
+            # event replay.
+            if self.config.contract_design != "registry":
+                raise RegistrationError(
+                    "pre-registered members require the registry design"
+                )
+            if pre_registered + peer_count > self.config.group_capacity:
+                raise RegistrationError(
+                    f"{pre_registered} genesis + {peer_count} peer "
+                    f"registrations exceed the depth-"
+                    f"{self.config.merkle_depth} group capacity "
+                    f"({self.config.group_capacity})"
+                )
+            pks = genesis_commitments(pre_registered, seed)
+            contract.genesis_register(pks)
+            self.chain.seed_event(
+                CONTRACT_ADDRESS, "MembersRegistered", pks=pks
+            )
 
         proving_key, verifying_key = rln_keys(seed=seed.to_bytes(8, "big"))
         self.proving_key = proving_key
@@ -139,7 +188,9 @@ class WakuRlnRelayNetwork:
         #: replica keeps its own independent MerkleTree).
         self.membership_store: Optional[MembershipStore] = (
             MembershipStore(
-                self.config.merkle_depth, self.config.root_window
+                self.config.merkle_depth,
+                self.config.root_window,
+                sub_depth=self.config.membership_sub_depth,
             )
             if self.config.shared_membership_store
             else None
@@ -265,15 +316,22 @@ class WakuRlnRelayNetwork:
             return
         reference = self.peers[0]
         reference.sync()
-        # One pass over the reference tree gives every peer its slot,
-        # keeping bootstrap linear in the number of peers. First
-        # occurrence wins, matching MerkleTree.find_leaf.
+        # One pass over the *event log* gives every peer its slot,
+        # keeping bootstrap linear in the number of registrations —
+        # and, unlike a full-tree scan, independent of the genesis
+        # member list's size. First event wins, matching
+        # MerkleTree.find_leaf at this point (no slashes have been
+        # mined yet).
         index_of: Dict = {}
-        for i, leaf in enumerate(reference.group.tree.leaves()):
-            index_of.setdefault(leaf, i)
+        for event in self.chain.event_log:
+            if event.name == "MemberRegistered":
+                index_of.setdefault(
+                    event.args["pk"], event.args["index"]
+                )
         for peer in self.peers[1:]:
             peer.adopt_sync_state(
-                reference, index_of.get(peer.commitment.element)
+                reference,
+                index_of.get(peer.commitment.element._value),
             )
 
     def start(self, mine_blocks: bool = True) -> None:

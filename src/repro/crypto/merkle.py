@@ -199,6 +199,30 @@ class MerkleTree:
     synced_insert = insert
     synced_update = update
 
+    def synced_insert_batch(
+        self, leaves: Sequence[Fr], roots_tail: int
+    ) -> Tuple[int, List[Fr]]:
+        """Apply one batch membership event to an independent replica.
+
+        A plain insert loop — with no shared structure there is nothing
+        to compact. Returns ``(first index, roots of the last
+        min(roots_tail, n) states, oldest first)``, matching
+        :meth:`SharedMerkleView.synced_insert_batch` so
+        :class:`~repro.rln.membership.LocalGroup` stays agnostic of its
+        tree type.
+        """
+        first = self._next_index
+        n = len(leaves)
+        if self._next_index + n > self.capacity:
+            raise MerkleError(f"tree is full ({self.capacity} leaves)")
+        need_from = n - min(max(roots_tail, 1), n) if n else 0
+        roots: List[Fr] = []
+        for j, leaf in enumerate(leaves):
+            self.insert(leaf)
+            if j >= need_from:
+                roots.append(self.root)
+        return first, roots
+
     def _index_leaf(self, value: int, index: int) -> None:
         slots = self._leaf_slots.get(value)
         if slots is None:

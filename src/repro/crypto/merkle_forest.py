@@ -1,0 +1,493 @@
+"""Tree-of-trees membership registry (sharded canonical tree).
+
+A depth-``d`` membership tree splits exactly into ``2^t`` fixed-capacity
+sub-trees of depth ``s`` (``d = s + t``) under a top-level root-of-roots
+of depth ``t``: leaf ``i`` lives at slot ``i & (2^s - 1)`` of sub-tree
+``i >> s``, and the top tree's leaf ``k`` is sub-tree ``k``'s root. This
+is a *decomposition* of the flat tree, not an approximation — every node
+of the sharded form equals the corresponding node of the flat tree, so
+the root is bit-identical at matched capacity (the property suite in
+``tests/crypto/test_merkle_forest.py`` pins this under random
+registration/slash interleavings).
+
+What the decomposition buys:
+
+* **Genesis bulk build.** Registering ``N`` identities one by one costs
+  ``N x d`` hashes plus ``N x d`` undo-journal tuples and ``N`` stored
+  roots. :meth:`CanonicalShardedTree.apply_batch` at version 0 builds
+  sub-trees bottom-up instead — ~2 hashes per leaf, no journal, no
+  per-version roots — and only the last ``root_window`` insertions go
+  through the normal journaled path so the resulting root window is
+  byte-identical to the one-by-one replay.
+
+* **Memory flatness.** Sub-tree interiors are *lazy*: after a bulk
+  build only the leaf lists, the sub-roots and the (tiny) top tree are
+  held. A sub-tree's interior is materialised on first write or proof
+  inside it (~``2^s`` hashes, once), so steady-state node storage
+  scales with the *active* slice of the membership, not its total size.
+
+* **O(depth_sub + depth_top) incremental registration.** An insert
+  hashes ``s`` levels inside one sub-tree plus ``t`` levels of the top
+  tree — which for the equivalent flat tree is exactly ``d`` hashes;
+  the sharding never makes the incremental path worse, while keeping
+  the two wins above.
+
+:class:`CanonicalShardedTree` is a drop-in for
+:class:`~repro.crypto.merkle_shared.CanonicalMerkleTree` behind
+:class:`~repro.crypto.merkle_shared.SharedMerkleView` — same versioned
+reads, undo journal, fork and dedup surface. Versions inside a
+compacted genesis range are the one exception: their roots and node
+snapshots were never stored, so reading them raises
+:class:`~repro.errors.MerkleError` instead of silently recomputing.
+
+:class:`TwoLevelProof` is the sharded proof shape: a sub-tree path to
+the sub-root plus a top path from the sub-root to the root.
+``flatten()`` recovers the flat :class:`~repro.crypto.merkle.MerkleProof`
+(concatenation of the two paths), so verifiers are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import MerkleError
+from .field import Fr
+from .hashing import hash2_int
+from .merkle import MerkleProof, zero_hashes_int
+
+Event = Tuple
+
+
+@dataclass(frozen=True)
+class TwoLevelProof:
+    """A membership proof split at the sub-tree boundary.
+
+    ``sub`` authenticates the leaf inside sub-tree ``sub_index`` (its
+    computed root is ``sub_root``); ``top`` authenticates ``sub_root``
+    as leaf ``sub_index`` of the root-of-roots. Flattening the two
+    paths yields exactly the flat-tree proof for the same leaf.
+    """
+
+    sub: MerkleProof
+    sub_root: Fr
+    sub_index: int
+    top: MerkleProof
+
+    @property
+    def depth(self) -> int:
+        return self.sub.depth + self.top.depth
+
+    @property
+    def leaf_index(self) -> int:
+        """Global leaf index: (sub_index << sub_depth) | local index."""
+        return (self.sub_index << self.sub.depth) | self.sub.leaf_index
+
+    @classmethod
+    def from_flat(cls, proof: MerkleProof, sub_depth: int) -> "TwoLevelProof":
+        """Split a flat proof at ``sub_depth``; pure — no tree access."""
+        if not 0 < sub_depth < proof.depth:
+            raise MerkleError(
+                f"sub depth {sub_depth} outside a depth-{proof.depth} proof"
+            )
+        sub = MerkleProof(
+            leaf=proof.leaf,
+            leaf_index=proof.leaf_index & ((1 << sub_depth) - 1),
+            siblings=proof.siblings[:sub_depth],
+            path_bits=proof.path_bits[:sub_depth],
+        )
+        sub_root = sub.compute_root()
+        sub_index = proof.leaf_index >> sub_depth
+        top = MerkleProof(
+            leaf=sub_root,
+            leaf_index=sub_index,
+            siblings=proof.siblings[sub_depth:],
+            path_bits=proof.path_bits[sub_depth:],
+        )
+        return cls(sub=sub, sub_root=sub_root, sub_index=sub_index, top=top)
+
+    def flatten(self) -> MerkleProof:
+        """The equivalent flat-tree proof (path concatenation)."""
+        return MerkleProof(
+            leaf=self.sub.leaf,
+            leaf_index=self.leaf_index,
+            siblings=self.sub.siblings + self.top.siblings,
+            path_bits=self.sub.path_bits + self.top.path_bits,
+        )
+
+    def verify(self, root: Fr) -> bool:
+        """Both hops hold: leaf -> sub_root and sub_root -> root."""
+        return (
+            self.sub.compute_root() == self.sub_root
+            and self.top.leaf == self.sub_root
+            and self.top.verify(root)
+        )
+
+
+class CanonicalShardedTree:
+    """Sharded drop-in for :class:`CanonicalMerkleTree`.
+
+    Same contract — single-writer :meth:`apply`, versioned reads, undo
+    journal, ``events_deduped``/``forks`` counters — with leaves held in
+    per-sub-tree lists, interiors materialised lazily, and a batch path
+    that compacts the genesis prefix (see the module docstring).
+    """
+
+    def __init__(self, depth: int, sub_depth: int) -> None:
+        if depth < 2:
+            raise MerkleError("sharded tree depth must be at least 2")
+        if not 0 < sub_depth < depth:
+            raise MerkleError(
+                f"sub-tree depth must satisfy 0 < {sub_depth} < {depth}"
+            )
+        self.depth = depth
+        self.sub_depth = sub_depth
+        self.top_depth = depth - sub_depth
+        self.capacity = 1 << depth
+        self.sub_capacity = 1 << sub_depth
+        self._sub_mask = self.sub_capacity - 1
+        self._zeros = zero_hashes_int(depth)
+        #: Leaf values per sub-tree, densely packed (sub k holds global
+        #: leaves [k << sub_depth, (k+1) << sub_depth)).
+        self._sub_leaves: List[List[int]] = []
+        #: Root of sub-tree k (parallel to _sub_leaves).
+        self._sub_roots: List[int] = []
+        #: Materialised sub-tree interior nodes, *global* (height, index)
+        #: coordinates, heights 1 .. sub_depth-1.
+        self._interior: Dict[Tuple[int, int], int] = {}
+        self._materialized: Set[int] = set()
+        #: Top-tree nodes, global coordinates, heights sub_depth+1 .. depth.
+        self._top_nodes: Dict[Tuple[int, int], int] = {}
+        #: Post-genesis undo journal, same semantics as the flat
+        #: canonical tree: (height, index) -> [(version, value before)].
+        self._journal: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        #: Versions 1 .. _genesis_version were compacted by a genesis
+        #: batch: no per-version events, roots or journal entries exist
+        #: for them (they are reconstructed or refused on access).
+        self._genesis_version = 0
+        #: Post-genesis events; _events[i] moved the head from version
+        #: _genesis_version + i to _genesis_version + i + 1.
+        self._events: List[Event] = []
+        #: _roots[i] / _leaf_counts[i] = state at _genesis_version + i.
+        self._roots: List[int] = [self._zeros[depth]]
+        self._leaf_counts: List[int] = [0]
+        self._leaf_history: Dict[int, List[Tuple[int, int]]] = {}
+        #: Lazy value -> ascending genesis indices (as of the genesis
+        #: version); built on first find_leaf over a compacted prefix.
+        self._genesis_slots: Optional[Dict[int, List[int]]] = None
+        self.events_deduped = 0
+        self.forks = 0
+
+    # -- head bookkeeping ---------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self._genesis_version + len(self._events)
+
+    def event_at(self, version: int) -> Event:
+        """The event that moved the head from ``version`` to ``version+1``.
+
+        Genesis-compacted versions are all inserts; the inserted value
+        is recovered from the leaf state at the genesis version (the
+        journal preserves it even if the slot was overwritten later).
+        """
+        if version < self._genesis_version:
+            return ("insert", self.node_at(0, version, self._genesis_version))
+        return self._events[version - self._genesis_version]
+
+    def root_at(self, version: int) -> int:
+        if version >= self._genesis_version:
+            return self._roots[version - self._genesis_version]
+        if version == 0:
+            return self._zeros[self.depth]
+        raise MerkleError(
+            f"root at version {version} was compacted by the genesis "
+            f"batch (first stored version is {self._genesis_version})"
+        )
+
+    def leaf_count_at(self, version: int) -> int:
+        if version >= self._genesis_version:
+            return self._leaf_counts[version - self._genesis_version]
+        return version  # every genesis event is an insert
+
+    def state_digest(self) -> Tuple[int, int, int]:
+        return (self.version, self._roots[-1], self._leaf_counts[-1])
+
+    # -- mutation -----------------------------------------------------------
+
+    def apply(self, event: Event) -> Optional[int]:
+        """Apply one event at the head; same contract as the flat tree."""
+        new_version = self.version + 1
+        count = self._leaf_counts[-1]
+        if event[0] == "insert":
+            index, value = count, event[1]
+            count += 1
+        else:
+            _, index, value = event
+        root = self._write_path(index, value, new_version)
+        self._events.append(event)
+        self._roots.append(root)
+        self._leaf_counts.append(count)
+        self._leaf_history.setdefault(value, []).append(
+            (index, new_version)
+        )
+        return index if event[0] == "insert" else None
+
+    def apply_batch(
+        self, values: Sequence[int], roots_tail: int
+    ) -> Tuple[int, List[int]]:
+        """Insert ``values`` in order; returns (first index, tail roots).
+
+        At version 0 the prefix before the last ``roots_tail`` leaves is
+        *compacted*: sub-trees are built bottom-up (~2 hashes/leaf, no
+        journal, no per-version roots), then the tail goes through the
+        normal journaled path — so the returned roots, and therefore a
+        replica's root window, are byte-identical to a one-by-one
+        replay. Past version 0 every insert is journaled as usual.
+
+        The tail holds the roots of the last ``min(roots_tail, n)``
+        versions, oldest first.
+        """
+        n = len(values)
+        first = self._leaf_counts[-1]
+        if n == 0:
+            return first, []
+        if first + n > self.capacity:
+            raise MerkleError(f"tree is full ({self.capacity} leaves)")
+        tail_len = min(max(roots_tail, 1), n)
+        compact = n - tail_len if self.version == 0 else 0
+        for start in range(0, compact, self.sub_capacity):
+            stop = min(start + self.sub_capacity, compact)
+            chunk = [int(v) for v in values[start:stop]]
+            self._sub_leaves.append(chunk)
+            self._sub_roots.append(self._fold_sub_root(chunk))
+        if compact:
+            self._genesis_version = compact
+            self._roots = [self._rebuild_top()]
+            self._leaf_counts = [compact]
+        tail_roots = []
+        for value in values[compact:]:
+            self.apply(("insert", int(value)))
+            tail_roots.append(self._roots[-1])
+        return first, tail_roots[-tail_len:]
+
+    def _fold_sub_root(self, leaves: List[int]) -> int:
+        """Root of one sub-tree, bottom-up, storing no interior nodes."""
+        level = leaves
+        zeros = self._zeros
+        for height in range(1, self.sub_depth + 1):
+            zero = zeros[height - 1]
+            level = [
+                hash2_int(
+                    level[2 * j],
+                    level[2 * j + 1] if 2 * j + 1 < len(level) else zero,
+                )
+                for j in range((len(level) + 1) // 2)
+            ]
+        return level[0] if level else zeros[self.sub_depth]
+
+    def _rebuild_top(self) -> int:
+        """(Re)build the whole top tree from the sub-roots; returns root."""
+        level = list(self._sub_roots)
+        zeros = self._zeros
+        top = self._top_nodes
+        for height in range(self.sub_depth + 1, self.depth + 1):
+            zero = zeros[height - 1]
+            nxt = []
+            for j in range((len(level) + 1) // 2):
+                node = hash2_int(
+                    level[2 * j],
+                    level[2 * j + 1] if 2 * j + 1 < len(level) else zero,
+                )
+                nxt.append(node)
+                top[(height, j)] = node
+            level = nxt or [zeros[height]]
+        return level[0]
+
+    def _materialize(self, k: int) -> None:
+        """Build sub-tree ``k``'s interior nodes from its leaves (once)."""
+        if k in self._materialized:
+            return
+        leaves = self._sub_leaves[k]
+        zeros = self._zeros
+        interior = self._interior
+        level = leaves
+        for height in range(1, self.sub_depth):
+            zero = zeros[height - 1]
+            base = k << (self.sub_depth - height)
+            nxt = []
+            for j in range((len(level) + 1) // 2):
+                node = hash2_int(
+                    level[2 * j],
+                    level[2 * j + 1] if 2 * j + 1 < len(level) else zero,
+                )
+                nxt.append(node)
+                interior[(height, base + j)] = node
+            level = nxt
+        self._materialized.add(k)
+
+    def _node_head(self, height: int, index: int) -> int:
+        """Current (head) digest of node (height, index)."""
+        if height == 0:
+            k = index >> self.sub_depth
+            if k < len(self._sub_leaves):
+                leaves = self._sub_leaves[k]
+                local = index & self._sub_mask
+                if local < len(leaves):
+                    return leaves[local]
+            return 0
+        if height < self.sub_depth:
+            k = index >> (self.sub_depth - height)
+            if k < len(self._sub_leaves) and self._sub_leaves[k]:
+                self._materialize(k)
+                return self._interior.get(
+                    (height, index), self._zeros[height]
+                )
+            return self._zeros[height]
+        if height == self.sub_depth:
+            if index < len(self._sub_roots):
+                return self._sub_roots[index]
+            return self._zeros[height]
+        return self._top_nodes.get((height, index), self._zeros[height])
+
+    def _head_set(self, height: int, index: int, value: int) -> None:
+        if height < self.sub_depth:
+            self._interior[(height, index)] = value
+        elif height == self.sub_depth:
+            self._sub_roots[index] = value
+        else:
+            self._top_nodes[(height, index)] = value
+
+    def _write_path(self, index: int, value: int, new_version: int) -> int:
+        """Journaled path rehash — the flat tree's fold, routed through
+        the sub-tree / top-tree stores. Identical hash order, so the
+        resulting nodes equal the flat tree's bit for bit."""
+        journal = self._journal
+        k = index >> self.sub_depth
+        local = index & self._sub_mask
+        while len(self._sub_leaves) <= k:
+            self._sub_leaves.append([])
+            self._sub_roots.append(self._zeros[self.sub_depth])
+            self._materialized.add(len(self._sub_leaves) - 1)
+        self._materialize(k)
+        leaves = self._sub_leaves[k]
+        key = (0, index)
+        prev = leaves[local] if local < len(leaves) else 0
+        journal.setdefault(key, []).append((new_version, prev))
+        if local < len(leaves):
+            leaves[local] = value
+        elif local == len(leaves):
+            leaves.append(value)
+        else:
+            raise MerkleError(
+                f"non-contiguous write at leaf {index} (sub-tree {k} "
+                f"holds {len(leaves)} leaves)"
+            )
+        node = value
+        node_index = index
+        for height in range(1, self.depth + 1):
+            sibling = self._node_head(height - 1, node_index ^ 1)
+            if node_index & 1:
+                node = hash2_int(sibling, node)
+            else:
+                node = hash2_int(node, sibling)
+            node_index >>= 1
+            key = (height, node_index)
+            journal.setdefault(key, []).append(
+                (new_version, self._node_head(height, node_index))
+            )
+            self._head_set(height, node_index, node)
+        return node
+
+    # -- versioned reads -----------------------------------------------------
+
+    def node_at(self, height: int, index: int, version: int) -> int:
+        """Digest of node (height, index) as of ``version``.
+
+        Genesis-compacted intermediate versions were never journaled
+        and cannot be read back; version 0 (the empty tree) always can.
+        """
+        if version < self._genesis_version:
+            if version == 0:
+                return self._zeros[height]
+            raise MerkleError(
+                f"node history at version {version} was compacted by "
+                f"the genesis batch"
+            )
+        key = (height, index)
+        if version < self.version:
+            entries = self._journal.get(key)
+            if entries:
+                lo, hi = 0, len(entries)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if entries[mid][0] <= version:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                if lo < len(entries):
+                    return entries[lo][1]
+        return self._node_head(height, index)
+
+    def _genesis_slot_map(self) -> Dict[int, List[int]]:
+        """value -> ascending genesis indices, as of the genesis version
+        (reads through the journal, so later overwrites don't hide the
+        original values). Built lazily, once — O(genesis size)."""
+        slots = self._genesis_slots
+        if slots is None:
+            slots = self._genesis_slots = {}
+            for index in range(self._genesis_version):
+                value = self.node_at(0, index, self._genesis_version)
+                slots.setdefault(value, []).append(index)
+        return slots
+
+    def find_leaf_at(self, value: int, version: int) -> Optional[int]:
+        """Lowest index holding ``value`` as of ``version`` (or None)."""
+        if 0 < version < self._genesis_version:
+            raise MerkleError(
+                f"leaf lookup at compacted version {version}"
+            )
+        best: Optional[int] = None
+        if self._genesis_version and version:
+            for index in self._genesis_slot_map().get(value, ()):
+                if self.node_at(0, index, version) == value:
+                    best = index
+                    break
+        for index, written in self._leaf_history.get(value, ()):
+            if written <= version and (best is None or index < best):
+                if self.node_at(0, index, version) == value:
+                    best = index
+        return best
+
+    def leaf_slots_at(self, version: int) -> Dict[int, List[int]]:
+        """value -> ascending indices snapshot (fork bootstrap)."""
+        if 0 < version < self._genesis_version:
+            raise MerkleError(
+                f"leaf snapshot at compacted version {version}"
+            )
+        slots: Dict[int, List[int]] = {}
+        for index in range(self.leaf_count_at(version)):
+            slots.setdefault(self.node_at(0, index, version), []).append(
+                index
+            )
+        return slots
+
+    def storage_bytes(self) -> int:
+        """Bytes of live head node storage (32 B per node)."""
+        nodes = (
+            sum(len(leaves) for leaves in self._sub_leaves)
+            + len(self._sub_roots)
+            + len(self._interior)
+            + len(self._top_nodes)
+        )
+        return 32 * nodes
+
+    @property
+    def materialized_subtrees(self) -> int:
+        """Sub-trees whose interiors are held in memory (stat)."""
+        return len(self._materialized)
+
+    @property
+    def genesis_version(self) -> int:
+        """Number of leading versions compacted by the genesis batch."""
+        return self._genesis_version

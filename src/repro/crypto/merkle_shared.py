@@ -139,6 +139,31 @@ class CanonicalMerkleTree:
         )
         return index if event[0] == "insert" else None
 
+    def apply_batch(
+        self, values, roots_tail: int
+    ) -> Tuple[int, List[int]]:
+        """Insert ``values`` in order; returns (first index, tail roots).
+
+        The flat canonical tree journals every insert, so a batch is a
+        plain loop; the sharded variant
+        (:class:`~repro.crypto.merkle_forest.CanonicalShardedTree`)
+        overrides this with genesis compaction. The tail holds the
+        roots of the last ``min(roots_tail, n)`` versions, oldest
+        first — what a replica needs to reproduce the one-by-one root
+        window exactly.
+        """
+        first = self._leaf_counts[-1]
+        tail_roots: List[int] = []
+        n = len(values)
+        if n == 0:
+            return first, tail_roots
+        if first + n > self.capacity:
+            raise MerkleError(f"tree is full ({self.capacity} leaves)")
+        for value in values:
+            self.apply(("insert", int(value)))
+        tail_len = min(max(roots_tail, 1), n)
+        return first, self._roots[-tail_len:]
+
     def _write_path(self, index: int, value: int, new_version: int) -> int:
         """Rehash the path above leaf ``index``; returns the new root.
 
@@ -235,6 +260,10 @@ class SharedMerkleView:
         self._canon = canonical
         self.depth = canonical.depth
         self.capacity = canonical.capacity
+        #: Sub-tree depth when the canonical tree is sharded (a
+        #: :class:`~repro.crypto.merkle_forest.CanonicalShardedTree`);
+        #: None for a flat canonical tree.
+        self.sub_depth = getattr(canonical, "sub_depth", None)
         self._zeros = canonical._zeros
         self._version = version
         self._forked = False
@@ -337,6 +366,56 @@ class SharedMerkleView:
                 return
             self._fork()
         self._set_private(index, value)
+
+    def synced_insert_batch(
+        self, leaves, roots_tail: int
+    ) -> Tuple[int, List[Fr]]:
+        """Apply one *batch* membership event (genesis registration).
+
+        Same head/dedup/fork contract as :meth:`synced_insert`, applied
+        value by value; the head case hands the whole remainder to the
+        canonical tree's :meth:`~CanonicalMerkleTree.apply_batch` so a
+        sharded canonical tree can compact the genesis prefix. Returns
+        ``(first index, roots of the last min(roots_tail, n) states,
+        oldest first)`` — exactly the roots a replica must remember for
+        its window to match a one-by-one replay.
+        """
+        values = [Fr(leaf)._value for leaf in leaves]
+        n = len(values)
+        if n == 0:
+            return self.leaf_count, []
+        if self.leaf_count + n > self.capacity:
+            raise MerkleError(f"tree is full ({self.capacity} leaves)")
+        first = self.leaf_count
+        need_from = n - min(max(roots_tail, 1), n)
+        tail_roots: List[Fr] = []
+        i = 0
+        canon = self._canon
+        while i < n:
+            if self._forked:
+                self._insert_private(values[i])
+                if i >= need_from:
+                    tail_roots.append(Fr(self._node(self.depth, 0)))
+                i += 1
+                continue
+            if self._version == canon.version:
+                _, tail = canon.apply_batch(values[i:], roots_tail)
+                self._version += n - i
+                tail_roots.extend(Fr(root) for root in tail)
+                break
+            if canon.event_at(self._version) == ("insert", values[i]):
+                self._version += 1
+                canon.events_deduped += 1
+                if i >= need_from:
+                    # Raises MerkleError if this version's root was
+                    # compacted — only possible when this batch is
+                    # shorter than the canonical genesis batch, i.e.
+                    # the replica is on a different event log anyway.
+                    tail_roots.append(Fr(canon.root_at(self._version)))
+                i += 1
+                continue
+            self._fork()
+        return first, tail_roots[-(n - need_from):]
 
     # -- out-of-band mutation --------------------------------------------------
 
@@ -456,6 +535,20 @@ class SharedMerkleView:
             siblings=tuple(siblings),
             path_bits=tuple(bits),
         )
+
+    def two_level_proof(self, index: int):
+        """Sharded proof shape (sub path + top path); sharded trees only.
+
+        ``flatten()`` of the result equals :meth:`proof` of the same
+        index, so this is a presentation change, not a soundness one.
+        """
+        if self.sub_depth is None:
+            raise MerkleError(
+                "two-level proofs require a sharded canonical tree"
+            )
+        from .merkle_forest import TwoLevelProof
+
+        return TwoLevelProof.from_flat(self.proof(index), self.sub_depth)
 
     def leaves(self) -> List[Fr]:
         return [self.leaf(i) for i in range(self.leaf_count)]

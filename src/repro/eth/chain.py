@@ -249,6 +249,32 @@ class Blockchain:
         self.contracts[contract.address] = contract
         return contract
 
+    def seed_event(self, contract: str, name: str, **args: Any) -> Event:
+        """Append a deploy-time log entry (genesis state, not a tx).
+
+        State baked into a deployment before the chain runs — e.g. a
+        pre-registered membership list — still has to reach peers
+        through the one synchronization channel they have, the event
+        log; a seed event is that announcement. Only valid before any
+        transaction has been queued or mined, so seeded entries are a
+        strict prefix of the log on every honest replica.
+        """
+        if contract not in self.contracts:
+            raise ChainError(f"unknown contract {contract!r}")
+        if self.blocks or self.mempool or self._replica:
+            raise ChainError(
+                "seed events must precede every transaction and block"
+            )
+        event = Event(
+            name=name,
+            args=dict(args),
+            contract=contract,
+            block_number=0,
+            log_index=len(self.event_log),
+        )
+        self.event_log.append(event)
+        return event
+
     # -- transaction submission ---------------------------------------------------
 
     @property

@@ -27,6 +27,7 @@ from ..constants import (
 from ..crypto.field import Fr
 from ..crypto.hashing import hash1, hash2_int
 from ..crypto.merkle import zero_hashes_int
+from ..errors import ContractError
 from .chain import Contract, TxContext
 
 
@@ -74,14 +75,73 @@ class MembershipRegistry(MembershipContractBase):
     ``register`` and ``slash`` each touch a constant number of slots,
     independent of the group size — the paper's constant-complexity
     claim.
+
+    A deployment may additionally carry a *genesis member list*
+    (:meth:`genesis_register`): pre-registered public keys baked into
+    the deployment state, held as ordinary Python state rather than
+    per-key storage slots so that a million-identity genesis does not
+    put a million entries into the storage dict every transaction
+    snapshots for revert. Genesis members occupy leaf slots
+    ``0 .. n-1``; transactional registrations continue after them.
     """
+
+    def __init__(
+        self,
+        address: str,
+        stake_wei: int = DEFAULT_MEMBERSHIP_STAKE_WEI,
+        burn_fraction: float = DEFAULT_SLASH_BURN_FRACTION,
+    ) -> None:
+        super().__init__(address, stake_wei, burn_fraction)
+        #: Deploy-time member list (immutable; slashes are recorded in
+        #: ("genesis_removed", index) storage slots instead).
+        self._genesis_pks: tuple = ()
+        self._genesis_index: dict = {}
+
+    def genesis_register(self, pks) -> int:
+        """Bake ``pks`` into the deployment as pre-registered members.
+
+        Deploy-time only (before any transaction): the constructor-
+        style equivalent of ``n`` register calls, with the stakes
+        funded into the contract as genesis supply. The caller must
+        announce the batch to peers with one
+        ``chain.seed_event(address, "MembersRegistered", pks=...)``.
+        Returns the number of members registered.
+        """
+        if self.storage.get("count", 0) or self._genesis_pks:
+            raise ContractError(
+                "genesis registration requires an empty registry"
+            )
+        pks = tuple(int(pk) for pk in pks)
+        index_of = {}
+        for index, pk in enumerate(pks):
+            if pk == 0:
+                raise ContractError("pk must be non-zero")
+            if pk in index_of:
+                raise ContractError(f"duplicate genesis pk at slot {index}")
+            index_of[pk] = index
+        self._genesis_pks = pks
+        self._genesis_index = index_of
+        if pks:
+            self.storage["count"] = len(pks)
+        self.balance += self.stake_wei * len(pks)
+        return len(pks)
+
+    def _genesis_slot(self, pk: int):
+        """Live genesis slot of ``pk``, or None (absent or slashed)."""
+        index = self._genesis_index.get(pk)
+        if index is None or self.storage.get(("genesis_removed", index), 0):
+            return None
+        return index
 
     def register(self, ctx: TxContext, pk: int) -> int:
         """Join the group by staking; returns the assigned leaf index."""
         self._check_stake(ctx)
         ctx.require(pk != 0, "pk must be non-zero")
         existing = ctx.sload(("index_of", pk))
-        ctx.require(existing == 0, "pk already registered")
+        ctx.require(
+            existing == 0 and self._genesis_slot(pk) is None,
+            "pk already registered",
+        )
         index = ctx.sload("count")
         ctx.sstore(("member", index), pk)
         ctx.sstore(("index_of", pk), index + 1)
@@ -94,22 +154,37 @@ class MembershipRegistry(MembershipContractBase):
 
         The contract recomputes ``pk = H(sk)`` (one hash) and needs no
         tree update — deletion is the same constant-slot pattern as
-        registration.
+        registration. Genesis members are removed by tombstoning their
+        slot (their pk list is immutable), still constant-cost.
         """
         ctx.poseidon()  # pk = H(sk) uses the circuit hash
         pk = int(hash1(Fr(sk)))
         stored = ctx.sload(("index_of", pk))
-        ctx.require(stored != 0, "unknown member")
-        index = stored - 1
-        ctx.sstore(("member", index), 0)
-        ctx.sstore(("index_of", pk), 0)
+        if stored != 0:
+            index = stored - 1
+            ctx.sstore(("member", index), 0)
+            ctx.sstore(("index_of", pk), 0)
+        else:
+            index = self._genesis_slot(pk)
+            ctx.require(index is not None, "unknown member")
+            ctx.sstore(("genesis_removed", index), 1)
         self._payout_slash(ctx)
         ctx.emit("MemberRemoved", pk=pk, index=index)
         return index
 
+    def member_at(self, index: int) -> int:
+        """Gas-free view: pk at slot ``index`` (0 when slashed/absent)."""
+        if index < len(self._genesis_pks):
+            if self.storage.get(("genesis_removed", index), 0):
+                return 0
+            return self._genesis_pks[index]
+        return self.storage.get(("member", index), 0)
+
     def is_member(self, pk: int) -> bool:
         """Gas-free view used by off-chain tooling."""
-        return self.storage.get(("index_of", pk), 0) != 0
+        if self.storage.get(("index_of", pk), 0) != 0:
+            return True
+        return self._genesis_slot(pk) is not None
 
 
 class OnChainTreeContract(MembershipContractBase):

@@ -20,6 +20,7 @@ from ..constants import DEFAULT_MERKLE_DEPTH
 from ..crypto.field import Fr
 from ..crypto.keys import IdentityCommitment
 from ..crypto.merkle import MerkleProof, MerkleTree
+from ..crypto.merkle_forest import CanonicalShardedTree
 from ..crypto.merkle_shared import CanonicalMerkleTree, SharedMerkleView
 from ..errors import MemberNotFoundError, SyncError
 
@@ -93,6 +94,41 @@ class LocalGroup:
         self.applied_events += 1
         self._remember_root(self.tree.root)
         return leaf_index
+
+    def apply_registration_batch(
+        self, commitments, event_index: int
+    ) -> int:
+        """Apply one MembersRegistered *batch* event (genesis
+        registration); returns the first assigned leaf index.
+
+        The whole batch is a single entry in the contract's event
+        sequence. The tree hands back the roots of the last
+        ``root_window`` intermediate states, so the remembered window
+        after a batch is byte-identical to applying the same
+        registrations one by one — the root-window regression suite
+        pins this.
+        """
+        self._check_sequence(event_index)
+        values = [
+            c.element if isinstance(c, IdentityCommitment) else Fr(c)
+            for c in commitments
+        ]
+        first_index, tail_roots = self.tree.synced_insert_batch(
+            values, self.root_window
+        )
+        self.applied_events += 1
+        for root in tail_roots:
+            self._remember_root(root)
+        return first_index
+
+    def two_level_proof(self, leaf_index: int):
+        """Sharded authentication path (sub-tree hop + top hop).
+
+        Only meaningful when the replica's tree is backed by a sharded
+        canonical tree; ``flatten()`` of the result is exactly
+        :meth:`merkle_proof` of the same leaf.
+        """
+        return self.tree.two_level_proof(leaf_index)
 
     def apply_removal(self, leaf_index: int, event_index: int) -> None:
         """Apply a MemberRemoved (slashing) event."""
@@ -177,18 +213,32 @@ class MembershipStore:
         self,
         depth: int = DEFAULT_MERKLE_DEPTH,
         root_window: int = DEFAULT_ROOT_WINDOW,
+        sub_depth: Optional[int] = None,
     ) -> None:
+        if sub_depth is not None and not 0 < sub_depth < depth:
+            raise ValueError(
+                f"membership sub-tree depth must satisfy "
+                f"0 < {sub_depth} < {depth}"
+            )
         self.depth = depth
         self.root_window = root_window
+        #: When set, canonical trees are sharded into 2^(depth -
+        #: sub_depth) sub-trees of depth ``sub_depth`` under a
+        #: root-of-roots (see :mod:`repro.crypto.merkle_forest`) —
+        #: root-equivalent to the flat tree, with bulk genesis builds
+        #: and lazy sub-tree interiors.
+        self.sub_depth = sub_depth
         self._canonicals: Dict[str, CanonicalMerkleTree] = {}
 
     def canonical(self, domain: str = "") -> CanonicalMerkleTree:
         """The canonical tree for ``domain`` (created on first use)."""
         tree = self._canonicals.get(domain)
         if tree is None:
-            tree = self._canonicals[domain] = CanonicalMerkleTree(
-                self.depth
-            )
+            if self.sub_depth is not None:
+                tree = CanonicalShardedTree(self.depth, self.sub_depth)
+            else:
+                tree = CanonicalMerkleTree(self.depth)
+            self._canonicals[domain] = tree
         return tree
 
     def view(self, domain: str = "") -> SharedMerkleView:
@@ -223,4 +273,10 @@ class MembershipStore:
             "events_deduped": sum(c.events_deduped for c in canonicals),
             "forks": sum(c.forks for c in canonicals),
             "shared_bytes": sum(c.storage_bytes() for c in canonicals),
+            # Zero for flat canonical trees; sharded trees report how
+            # many sub-tree interiors were actually built (memory
+            # tracks the active slice, not the full capacity).
+            "materialized_subtrees": sum(
+                getattr(c, "materialized_subtrees", 0) for c in canonicals
+            ),
         }

@@ -358,6 +358,57 @@ register_scenario(
 
 register_scenario(
     ScenarioSpec(
+        name="million-id-city",
+        description=(
+            "Million-identity membership on the sharded registry: "
+            "950k pre-registered (dormant) identities seeded at "
+            "genesis plus 50000 live peers, depth-20 tree split into "
+            "1024 sub-trees of 1024 leaves under a root-of-roots. "
+            "Epoch-grid nullifier GC and streaming metrics keep peer "
+            "and measurement state bounded over the run. Traffic and "
+            "adversaries mirror city-scale-50k so the two are "
+            "comparable; extras report sub-trees materialized and "
+            "nullifier entries pruned/live. Tier-1 smokes it tiny; "
+            "the full scale runs behind -m slow."
+        ),
+        peers=50000,
+        duration=30.0,
+        shards=8,
+        pre_registered=950_000,
+        streaming_metrics=True,
+        traffic=TrafficModel(messages_per_epoch=0.1, active_fraction=0.04),
+        topics=(
+            TopicSpec("/waku/2/market/proto", traffic_weight=2.0,
+                      subscribe_fraction=0.3),
+            TopicSpec("/waku/2/chat/proto", traffic_weight=1.0,
+                      subscribe_fraction=0.2),
+            TopicSpec("/waku/2/firehose/proto", traffic_weight=0.5,
+                      subscribe_fraction=0.05, rln_protected=False),
+        ),
+        adversaries=AdversaryMix(
+            groups=(
+                AdversaryGroup(
+                    strategy="adaptive-backoff",
+                    count=2,
+                    budget_stakes=4,
+                    burst=6,
+                    target_topics=("/waku/2/market/proto",),
+                ),
+            ),
+        ),
+        config_overrides={
+            **_CACHE,
+            # 2^20 = 1,048,576 slots: fits 950k dormant + 50k live +
+            # adversary rotations. sub_depth 10 -> 1024-leaf sub-trees.
+            "merkle_depth": 20,
+            "membership_sub_depth": 10,
+            "eager_nullifier_gc": True,
+        },
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
         name="delegated-enforcement",
         description=(
             "Every honest peer delegates slash enforcement to one "

@@ -83,7 +83,12 @@ class ScenarioRunner:
                 parallel=bool(spec.parallel_workers),
                 parallel_window=spec.parallel_window,
                 shard_pins=pins,
+                pre_registered=spec.pre_registered,
             )
+        if spec.streaming_metrics:
+            # Before any sample lands: histograms become bounded
+            # streaming accumulators for the whole run.
+            self.net.metrics.use_streaming()
         #: Barrier-fed cumulative spam-delivery count (parallel mode):
         #: the engine's probe reads this instead of the live recorder
         #: sum, so adaptive adversaries see the same value at the same
@@ -332,6 +337,11 @@ class ScenarioRunner:
                 (lambda: self._spam_feed)
                 if self.spec.parallel_workers
                 else self._spam_delivered_total
+            ),
+            max_series_samples=(
+                self.spec.series_max_points
+                if self.spec.streaming_metrics
+                else None
             ),
         )
         stake = self.net.config.stake_wei
@@ -663,6 +673,25 @@ class ScenarioRunner:
                 store_stats["events_deduped"]
             )
             extras["membership_forks"] = float(store_stats["forks"])
+            if net.config.membership_sub_depth is not None:
+                # Sharded registry only: how much of the tree-of-trees
+                # was actually built. Gated on the opt-in flag so flat
+                # runs keep their extras keys (and fingerprints) as-is.
+                extras["membership_subtrees_materialized"] = float(
+                    store_stats["materialized_subtrees"]
+                )
+        if net.config.eager_nullifier_gc:
+            # Epoch-grid GC is opt-in; when on, report how much
+            # nullifier state it reclaimed and what stayed live across
+            # every peer and topic (the O(active peers x window) bound).
+            pruned = 0
+            live = 0
+            for peer in net.peers:
+                for validator in peer.rln_topics.values():
+                    pruned += validator.nullifier_map.auto_pruned_entries
+                    live += validator.nullifier_map.entry_count
+            extras["nullifier_entries_pruned"] = float(pruned)
+            extras["nullifier_entries_live"] = float(live)
         if spec.compare_baseline:
             extras.update(self._run_baseline())
         topic_summary: Dict[str, Dict[str, float]] = {}

@@ -320,10 +320,32 @@ class ScenarioSpec:
     #: Barrier window length in simulated seconds (None = the latency
     #: model's minimum latency, the widest sound window).
     parallel_window: Optional[float] = None
+    #: Identities baked into the membership contract at deploy time
+    #: (genesis member list) on top of the ``peers`` that register
+    #: transactionally — the paper's "huge membership, small active
+    #: set" regime. Applied to replicas via one batch event and the
+    #: tree's bulk-build path. ``scaled()`` shrinks it with the peer
+    #: ratio.
+    pre_registered: int = 0
+    #: Bounded measurement state: histograms become streaming
+    #: accumulators (running moments + quantile sketch) and the
+    #: adversary economics series is capped at ``series_max_points``
+    #: by uniform decimation — O(1) memory per metric regardless of
+    #: run length. Percentiles become ~1%-approximate and the series
+    #: loses points, so results (and fingerprints) are only comparable
+    #: within the same setting.
+    streaming_metrics: bool = False
+    #: Cap on retained economics-series samples when
+    #: ``streaming_metrics`` is on (ignored otherwise).
+    series_max_points: int = 256
 
     def __post_init__(self) -> None:
         if self.peers < 2:
             raise ScenarioError("a scenario needs at least 2 peers")
+        if self.pre_registered < 0:
+            raise ScenarioError("pre_registered must be >= 0")
+        if self.series_max_points < 4:
+            raise ScenarioError("series_max_points must be >= 4")
         if self.adversaries.total_count >= self.peers:
             raise ScenarioError("spammers must leave at least one honest peer")
         if self.duration <= 0:
@@ -471,7 +493,15 @@ class ScenarioSpec:
                             groups[i] = replace(g, count=g.count - 1)
                             break
                     adversaries = replace(adversaries, groups=tuple(groups))
-            spec = replace(spec, peers=peers, adversaries=adversaries)
+            pre_registered = spec.pre_registered
+            if pre_registered:
+                pre_registered = round(pre_registered * ratio)
+            spec = replace(
+                spec,
+                peers=peers,
+                adversaries=adversaries,
+                pre_registered=pre_registered,
+            )
         if duration is not None and duration != spec.duration:
             # Fault times track the run: a crash planned mid-run at
             # full scale stays mid-run in a shrunk smoke run.

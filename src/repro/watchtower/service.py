@@ -309,6 +309,12 @@ class WatchtowerService:
                 self._membership_events_applied,
             )
             self._membership_events_applied += 1
+        elif event.name == "MembersRegistered":
+            # Genesis batch (one event; bulk-applied, nothing to enforce).
+            self.group.apply_registration_batch(
+                event.args["pks"], self._membership_events_applied
+            )
+            self._membership_events_applied += 1
         elif event.name == "MemberRemoved":
             self.group.apply_removal(
                 event.args["index"], self._membership_events_applied

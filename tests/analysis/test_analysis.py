@@ -91,10 +91,27 @@ class TestExperimentPayload:
             {"rows": [[object()]]},
             {"schema_version": 999},
             {"meta": {"k": [1, 2]}},
+            # peak_memory_bytes is optional but typed when present.
+            {"meta": {"peak_memory_bytes": -1}},
+            {"meta": {"peak_memory_bytes": 1.5}},
+            {"meta": {"peak_memory_bytes": True}},
+            {"meta": {"peak_memory_bytes": "12"}},
         ):
             bad = {**good, **mutation}
             with pytest.raises(ValueError):
                 validate_experiment_payload(bad)
+
+    def test_peak_memory_bytes_meta_accepted(self):
+        from repro.analysis import experiment_payload
+
+        payload = experiment_payload(
+            "b", "t", ("h",), [(1,)], meta={"peak_memory_bytes": 0}
+        )
+        assert payload["meta"]["peak_memory_bytes"] == 0
+        experiment_payload(
+            "b", "t", ("h",), [(1,)],
+            meta={"peak_memory_bytes": 123_456_789},
+        )
 
     def test_rejects_non_scalar_cells_at_build(self):
         from repro.analysis import experiment_payload

@@ -1,0 +1,299 @@
+"""Tree-of-trees registry: root-equivalence with the flat tree.
+
+The sharded canonical tree exists only because it is *provably the
+same tree* as a flat canonical tree at matched capacity: every root,
+every historical root, every proof and every leaf lookup must agree
+under any interleaving of registrations and slashes — including the
+compacted genesis-batch path. These tests drive flat and sharded
+registries through identical event scripts and compare everything.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.field import Fr
+from repro.crypto.hashing import hash_call_count
+from repro.crypto.keys import MembershipKeyPair
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.merkle_forest import CanonicalShardedTree, TwoLevelProof
+from repro.crypto.merkle_shared import CanonicalMerkleTree
+from repro.errors import MerkleError
+from repro.rln.membership import LocalGroup, MembershipStore
+
+DEPTH = 6
+
+
+def _commitments(n: int, seed: int = 3):
+    rng = random.Random(seed)
+    return [MembershipKeyPair.generate(rng).commitment for _ in range(n)]
+
+
+def _triple(sub_depth: int, depth: int = DEPTH):
+    """(sharded replica, flat replica, independent replica)."""
+    sharded = MembershipStore(depth=depth, sub_depth=sub_depth)
+    flat = MembershipStore(depth=depth)
+    return (
+        sharded.local_group(),
+        flat.local_group(),
+        LocalGroup(depth),
+    )
+
+
+def _assert_groups_equal(a: LocalGroup, b: LocalGroup):
+    assert a.root == b.root
+    assert a.recent_roots() == b.recent_roots()
+    assert a.member_count == b.member_count
+
+
+class TestShardedFlatEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        actions=st.lists(
+            st.sampled_from(["register", "slash"]), min_size=1, max_size=40
+        ),
+        sub_depth=st.integers(min_value=1, max_value=DEPTH - 1),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_random_interleavings(self, actions, sub_depth, seed):
+        rng = random.Random(seed)
+        sharded, flat, independent = _triple(sub_depth)
+        pool = _commitments(40, seed=11)
+        members = []  # (commitment, index) still in the tree
+        event = 0
+        for action in actions:
+            if action == "register" and pool:
+                commitment = pool.pop()
+                index = sharded.apply_registration(commitment, event)
+                assert flat.apply_registration(commitment, event) == index
+                assert (
+                    independent.apply_registration(commitment, event)
+                    == index
+                )
+                members.append((commitment, index))
+            elif action == "slash" and members:
+                _, index = members.pop(rng.randrange(len(members)))
+                sharded.apply_removal(index, event)
+                flat.apply_removal(index, event)
+                independent.apply_removal(index, event)
+            else:
+                continue
+            event += 1
+            _assert_groups_equal(sharded, flat)
+            _assert_groups_equal(sharded, independent)
+        for commitment, index in members:
+            assert sharded.index_of(commitment) == index
+            proof = sharded.merkle_proof(index)
+            assert proof.verify(flat.root)
+            assert proof.siblings == flat.merkle_proof(index).siblings
+            two_level = sharded.two_level_proof(index)
+            assert two_level.verify(sharded.root)
+            assert two_level.flatten().siblings == proof.siblings
+
+    def test_node_level_equality_with_flat_tree(self):
+        """Not just the root: every interior node matches the flat tree."""
+        sharded = CanonicalShardedTree(5, 2)
+        flat = CanonicalMerkleTree(5)
+        for value in range(1, 23):
+            sharded.apply(("insert", value))
+            flat.apply(("insert", value))
+        version = sharded.version
+        for height in range(0, 6):
+            for index in range(2 ** (5 - height)):
+                assert sharded.node_at(height, index, version) == (
+                    flat.node_at(height, index, version)
+                ), (height, index)
+
+    def test_sub_depth_validation(self):
+        with pytest.raises(MerkleError):
+            CanonicalShardedTree(4, 0)
+        with pytest.raises(MerkleError):
+            CanonicalShardedTree(4, 4)
+        with pytest.raises(ValueError):
+            MembershipStore(depth=4, sub_depth=5)
+        with pytest.raises(ValueError):
+            MembershipStore(depth=4, sub_depth=0)
+
+
+class TestGenesisBatch:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=60),
+        window=st.integers(min_value=1, max_value=12),
+        sub_depth=st.integers(min_value=1, max_value=DEPTH - 1),
+    )
+    def test_batch_matches_one_by_one(self, n, window, sub_depth):
+        commitments = _commitments(n, seed=n)
+        batch = MembershipStore(
+            depth=DEPTH, root_window=window, sub_depth=sub_depth
+        ).local_group()
+        serial = MembershipStore(
+            depth=DEPTH, root_window=window, sub_depth=sub_depth
+        ).local_group()
+        flat = MembershipStore(
+            depth=DEPTH, root_window=window
+        ).local_group()
+        batch.apply_registration_batch(commitments, event_index=0)
+        for event, commitment in enumerate(commitments):
+            serial.apply_registration(commitment, event)
+            flat.apply_registration(commitment, event)
+        # The compacted batch must be observationally identical: same
+        # root AND the same acceptance window of historical roots.
+        assert batch.root == serial.root == flat.root
+        assert batch.recent_roots() == serial.recent_roots()
+        assert batch.recent_roots() == flat.recent_roots()
+        assert batch.member_count == n
+
+    def test_genesis_batch_hashes_o1_per_leaf(self):
+        n = 2**DEPTH
+        values = [c.element._value for c in _commitments(n, seed=5)]
+        tree = CanonicalShardedTree(DEPTH, 3)
+        before = hash_call_count()
+        tree.apply_batch(values, roots_tail=1)
+        spent = hash_call_count() - before
+        # Bottom-up fold: ~1 hash per leaf (one per interior node),
+        # against DEPTH per leaf on the journaled path.
+        assert spent < 2 * n
+        assert spent < DEPTH * n / 2
+
+    def test_compacted_versions_are_unreadable(self):
+        tree = CanonicalShardedTree(DEPTH, 2)
+        tree.apply_batch(list(range(1, 41)), roots_tail=4)
+        gv = tree.genesis_version
+        assert gv == 36
+        assert tree.root_at(0) == tree.node_at(DEPTH, 0, 0)
+        for version in (1, gv // 2, gv - 1):
+            with pytest.raises(MerkleError):
+                tree.root_at(version)
+            with pytest.raises(MerkleError):
+                tree.find_leaf_at(1, version)
+        # Versions from the genesis point onward read normally.
+        for version in range(gv, tree.version + 1):
+            assert tree.leaf_count_at(version) == version
+        # Events before the genesis point reconstruct as inserts.
+        for version in range(gv):
+            kind, value = tree.event_at(version)
+            assert kind == "insert"
+            assert value == tree.node_at(0, version, tree.version)
+
+    def test_batch_after_genesis_takes_journaled_path(self):
+        tree = CanonicalShardedTree(DEPTH, 2)
+        tree.apply_batch(list(range(1, 11)), roots_tail=2)
+        gv = tree.genesis_version
+        tree.apply_batch(list(range(11, 21)), roots_tail=2)
+        # Second batch is post-genesis: every version is journaled.
+        assert tree.genesis_version == gv
+        for version in range(gv, tree.version + 1):
+            tree.root_at(version)
+
+    def test_replica_dedups_genesis_batch(self):
+        store = MembershipStore(depth=DEPTH, sub_depth=2)
+        commitments = _commitments(30, seed=9)
+        first = store.local_group()
+        second = store.local_group()
+        first.apply_registration_batch(commitments, event_index=0)
+        before = hash_call_count()
+        second.apply_registration_batch(commitments, event_index=0)
+        assert hash_call_count() == before  # pure pointer advance
+        _assert_groups_equal(first, second)
+        assert store.stats()["events_deduped"] >= 30
+
+    def test_slash_of_genesis_member_after_compaction(self):
+        sharded = MembershipStore(depth=DEPTH, sub_depth=3).local_group()
+        flat = LocalGroup(DEPTH)
+        commitments = _commitments(25, seed=13)
+        sharded.apply_registration_batch(commitments, event_index=0)
+        for event, commitment in enumerate(commitments):
+            flat.apply_registration(commitment, event)
+        victim = commitments[4]
+        index = sharded.index_of(victim)
+        assert index == flat.index_of(victim) == 4
+        # The batch counted as ONE contract event for the sharded
+        # replica; the one-by-one flat replica consumed 25.
+        sharded.apply_removal(index, 1)
+        flat.apply_removal(index, 25)
+        _assert_groups_equal(sharded, flat)
+        assert not sharded.contains(victim)
+
+
+class TestTwoLevelProof:
+    def test_split_and_flatten_roundtrip(self):
+        group = MembershipStore(depth=DEPTH, sub_depth=4).local_group()
+        commitments = _commitments(20, seed=17)
+        for event, commitment in enumerate(commitments):
+            group.apply_registration(commitment, event)
+        for index in (0, 7, 15, 19):
+            flat_proof = group.merkle_proof(index)
+            proof = group.two_level_proof(index)
+            assert proof.sub.depth == 4
+            assert proof.top.depth == DEPTH - 4
+            assert proof.depth == DEPTH
+            assert proof.leaf_index == index
+            assert proof.sub_index == index >> 4
+            assert proof.verify(group.root)
+            assert proof.flatten().siblings == flat_proof.siblings
+            again = TwoLevelProof.from_flat(flat_proof, 4)
+            assert again == proof
+
+    def test_sub_root_links_the_levels(self):
+        group = MembershipStore(depth=DEPTH, sub_depth=2).local_group()
+        for event, commitment in enumerate(_commitments(9, seed=19)):
+            group.apply_registration(commitment, event)
+        proof = group.two_level_proof(5)
+        # The sub proof resolves to the sub-root, which is the leaf of
+        # the top proof; tampering with either level breaks verify.
+        assert proof.sub.verify(proof.sub_root)
+        assert proof.top.verify(group.root)
+        assert proof.top.leaf == proof.sub_root
+        bad = TwoLevelProof(
+            sub=proof.sub,
+            sub_root=Fr(int(proof.sub_root) + 1),
+            sub_index=proof.sub_index,
+            top=proof.top,
+        )
+        assert not bad.verify(group.root)
+
+    def test_flat_view_refuses_two_level_proofs(self):
+        group = MembershipStore(depth=DEPTH).local_group()
+        group.apply_registration(_commitments(1)[0], 0)
+        with pytest.raises(MerkleError):
+            group.two_level_proof(0)
+
+
+class TestForkBehavior:
+    def test_diverging_replica_forks_privately(self):
+        store = MembershipStore(depth=DEPTH, sub_depth=2)
+        commitments = _commitments(10, seed=23)
+        canonical_replica = store.local_group()
+        divergent = store.local_group()
+        canonical_replica.apply_registration_batch(
+            commitments[:8], event_index=0
+        )
+        divergent.apply_registration_batch(commitments[:7], event_index=0)
+        # Replica 2 now applies a *different* second event (its batch
+        # was contract event 0): must fork, not corrupt the canonical.
+        divergent.apply_registration(commitments[9], 1)
+        assert store.stats()["forks"] == 1
+        assert divergent.root != canonical_replica.root
+        assert divergent.member_count == canonical_replica.member_count
+        # Canonical side unaffected; a third replica dedups cleanly.
+        third = store.local_group()
+        third.apply_registration_batch(commitments[:8], event_index=0)
+        _assert_groups_equal(third, canonical_replica)
+
+    def test_lazy_materialization_tracks_active_slice(self):
+        tree = CanonicalShardedTree(8, 4)
+        assert tree.materialized_subtrees == 0
+        tree.apply_batch(list(range(1, 33)), roots_tail=1)
+        # The genesis fold stores only leaves and sub-roots; the lone
+        # journaled tail write materialized its sub-tree's interior.
+        assert tree.materialized_subtrees == 1
+        # The next write lands in sub-tree 2 and materializes it too;
+        # the other 14 sub-trees stay as bare leaf lists.
+        tree.apply(("insert", 100))
+        assert tree.materialized_subtrees == 2
+        assert tree.storage_bytes() > 0
