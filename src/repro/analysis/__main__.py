@@ -86,14 +86,80 @@ EXPERIMENTS = {
 }
 
 
+def _explain_parallel(spec, workers) -> int:
+    """Dry-run: print the shard/worker plan a parallel run would use,
+    without building or running anything. Everything shown is derived
+    from the spec alone — the same pins, block plan and contiguous
+    worker groups the runner computes."""
+    from ..scenarios.parallel import contiguous_groups
+    from ..sim.latency import UniformLatency
+    from ..sim.shards import ShardPlan
+
+    workers = min(workers, spec.shards)
+    roster = [f"peer-{i}" for i in range(spec.peers)]
+    pins = {}
+    tail = spec.adversaries.total_count
+    for index in range(spec.peers - tail, spec.peers):
+        pins[f"peer-{index}"] = 0
+    service_ids = ()
+    if spec.watchtowers is not None:
+        service_ids = spec.watchtowers.service_ids()
+        for service_id in service_ids:
+            pins[service_id] = 0
+    plan = ShardPlan.blocked(roster, spec.shards, pins=pins)
+    window = spec.parallel_window
+    if window is None:
+        window = UniformLatency(base_seconds=0.03).min_latency()
+    barriers = max(1, -(-spec.duration // window))
+    print(f"scenario          {spec.name}")
+    print(f"peers             {spec.peers}")
+    print(f"shards            {spec.shards}")
+    print(f"workers           {workers}" + (" (in-process)" if workers <= 1 else " (forked)"))
+    print(f"barrier window    {window}s  ({int(barriers)} barriers over {spec.duration}s)")
+    if spec.pre_registered:
+        print(f"pre-registered    {spec.pre_registered} genesis identities")
+    by_shard = {s: 0 for s in range(spec.shards)}
+    for node_id in roster:
+        by_shard[plan.shard_of(node_id)] += 1
+    for index, group in enumerate(contiguous_groups(spec.shards, workers)):
+        peers_owned = sum(by_shard[s] for s in group)
+        shards_text = (
+            f"shard {group.start}"
+            if len(group) == 1
+            else f"shards {group.start}-{group.stop - 1}"
+        )
+        extras = []
+        if 0 in group:
+            if tail:
+                extras.append(f"{tail} adversaries (pinned)")
+            if service_ids:
+                extras.append(
+                    f"{len(service_ids)} watchtowers (pinned)"
+                )
+        suffix = f"  + {', '.join(extras)}" if extras else ""
+        print(
+            f"  worker {index}        {shards_text}: "
+            f"{peers_owned} peers{suffix}"
+        )
+    problems = spec.parallel_rejections()
+    if problems:
+        print("parallel-incompatible features:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("all features parallel-capable")
+    return 0
+
+
 def _run_scenario_command(argv) -> int:
     """``run-scenario <name> [--peers N] [--duration S] [--seed K]
-    [--shards N] [--workers N] [--json]``
+    [--shards N] [--workers N] [--json] [--explain-parallel]``
 
     ``--workers`` opts into the window-isolated parallel mode
     (``ScenarioSpec.parallel_workers``; forked workers when > 1 and
-    shards allow)."""
-    from ..errors import ScenarioError
+    shards allow). ``--explain-parallel`` prints the shard/worker plan
+    and exits without running."""
+    from ..errors import ScenarioError, ScenarioSpecError
     from ..scenarios import run_scenario, scenario, scenario_names
 
     if not argv:
@@ -105,11 +171,16 @@ def _run_scenario_command(argv) -> int:
         "workers": None,
     }
     as_json = False
+    explain = False
     i = 0
     while i < len(flags):
         flag = flags[i]
         if flag == "--json":
             as_json = True
+            i += 1
+            continue
+        if flag == "--explain-parallel":
+            explain = True
             i += 1
             continue
         key = flag.lstrip("-")
@@ -123,9 +194,27 @@ def _run_scenario_command(argv) -> int:
             print(f"flag {flag!r} expects a number, got {flags[i + 1]!r}")
             return 1
         i += 2
-    overrides["parallel_workers"] = overrides.pop("workers")
+    workers = overrides.pop("workers")
+    if explain:
+        # The plan is computed from the spec without entering parallel
+        # mode, so incompatible features are listed rather than raised.
+        spec = scenario(name).scaled(
+            peers=overrides["peers"],
+            duration=overrides["duration"],
+            seed=overrides["seed"],
+            shards=overrides["shards"],
+        )
+        return _explain_parallel(spec, workers or spec.parallel_workers or 1)
     try:
-        result = run_scenario(scenario(name), **overrides)
+        result = run_scenario(
+            scenario(name), parallel_workers=workers, **overrides
+        )
+    except ScenarioSpecError as exc:
+        # The typed rejection aggregates every offending feature.
+        print(str(exc))
+        for problem in exc.problems:
+            print(f"  - {problem}")
+        return 1
     except ScenarioError as exc:
         print(str(exc))
         return 1

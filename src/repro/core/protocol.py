@@ -16,9 +16,10 @@ flow matches the paper's deployment story:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, FrozenSet, List, Optional
 
 from ..constants import ETH_BLOCK_INTERVAL_SECONDS
+from ..crypto.keys import IdentityCommitment, MembershipKeyPair
 from ..errors import NetworkError, RegistrationError
 from ..eth.chain import Blockchain
 from ..eth.contracts import MembershipRegistry, OnChainTreeContract
@@ -26,7 +27,7 @@ from ..net.network import Network, NodeId
 from ..net.topology import connect_full_mesh, connect_random_regular
 from ..rln.membership import MembershipStore
 from ..rln.prover import rln_keys
-from ..rln.verifier import VerificationCache
+from ..rln.verifier import BarrierMemoCache, VerificationCache
 from ..sim.latency import LatencyModel, UniformLatency
 from ..sim.metrics import MetricsRegistry
 from ..sim.parallel_stack import WindowedStackSimulator
@@ -78,10 +79,13 @@ class WakuRlnRelayNetwork:
         parallel_window: Optional[float] = None,
         shard_pins: Optional[Dict[str, int]] = None,
         pre_registered: int = 0,
+        owned_shards: Optional[FrozenSet[int]] = None,
     ) -> None:
         self.config = config or ProtocolConfig()
         self.pre_registered = pre_registered
         self.parallel = parallel
+        if owned_shards is not None and not parallel:
+            raise NetworkError("owned_shards requires parallel mode")
         latency = latency or UniformLatency(base_seconds=0.03)
         peer_ids = [f"peer-{i}" for i in range(peer_count)]
         if parallel:
@@ -110,6 +114,12 @@ class WakuRlnRelayNetwork:
             self.simulator: Simulator = WindowedStackSimulator(
                 seed=seed, plan=plan, window=window
             )
+            if owned_shards is not None:
+                # Build-per-worker: narrow ownership *before* any
+                # entity exists, so this worker only constructs (and
+                # schedules for) the shards it owns; every other
+                # roster entry becomes a ghost below.
+                self.simulator.restrict_to(frozenset(owned_shards))
         elif shards > 1:
             # Contiguous id blocks as the "region" partition (matches
             # construction order); churn joiners hash-fall-back. The
@@ -175,15 +185,22 @@ class WakuRlnRelayNetwork:
         self.proving_key = proving_key
         self.verifying_key = verifying_key
         #: Deployment-wide proof-verification memo (None = naive mode).
-        #: Parallel mode keeps it None and gives each peer a private
-        #: cache instead: a network-shared memo's hit pattern depends
-        #: on which worker verified a share first, so its counters
-        #: would not be partition-invariant.
-        self.verification_cache: Optional[VerificationCache] = (
-            VerificationCache(self.config.verification_cache_size)
-            if self.config.verification_cache_size > 0 and not parallel
-            else None
-        )
+        #: Parallel mode shares a :class:`BarrierMemoCache` instead of
+        #: the plain LRU: reads see only the last barrier's committed
+        #: snapshot and writes merge deterministically at barriers, so
+        #: the hit pattern — and every downstream counter — is
+        #: invariant in the shard/worker layout.
+        self.verification_cache = None
+        if self.config.verification_cache_size > 0:
+            if parallel:
+                self.verification_cache = BarrierMemoCache(
+                    self.config.verification_cache_size,
+                    key_source=self.simulator.consume_order_key,
+                )
+            else:
+                self.verification_cache = VerificationCache(
+                    self.config.verification_cache_size
+                )
         #: Deployment-wide shared membership-tree store (None = every
         #: replica keeps its own independent MerkleTree).
         self.membership_store: Optional[MembershipStore] = (
@@ -202,10 +219,31 @@ class WakuRlnRelayNetwork:
         self._peer_added_callbacks: List[
             Callable[[WakuRlnRelayPeer], None]
         ] = []
-        self.peers: List[WakuRlnRelayPeer] = [
-            self._build_peer(f"peer-{i}") for i in range(peer_count)
-        ]
-        ids = [p.node_id for p in self.peers]
+        #: Every peer id of the deployment, build order — identical on
+        #: every worker even when only a subset is materialized.
+        self.roster: List[NodeId] = list(peer_ids)
+        #: Commitments of roster entries owned by other workers: their
+        #: registrations must still hit this worker's chain replica.
+        self._ghost_commitments: Dict[NodeId, IdentityCommitment] = {}
+        self._peer_by_id: Dict[NodeId, WakuRlnRelayPeer] = {}
+        self.peers: List[WakuRlnRelayPeer] = []
+        if parallel:
+            plan = self.simulator.plan
+            owned = self.simulator.owned
+            for node_id in self.roster:
+                if plan.shard_of(node_id) in owned:
+                    # Scheduling done while constructing an entity (and
+                    # none happens today, but e.g. a future handshake
+                    # would) must key on the entity, not on how many
+                    # peers this worker happened to build before it.
+                    with self.simulator.build_context(node_id):
+                        self._materialize_peer(node_id)
+                else:
+                    self.declare_ghost(node_id)
+        else:
+            for node_id in self.roster:
+                self._materialize_peer(node_id)
+        ids = self.roster
         if degree is None or peer_count <= degree + 1:
             connect_full_mesh(self.network, ids)
         else:
@@ -214,12 +252,44 @@ class WakuRlnRelayNetwork:
             connect_random_regular(self.network, ids, degree, seed=seed)
         self._miner_cancel: Optional[Callable[[], None]] = None
 
+    def _materialize_peer(self, node_id: NodeId) -> WakuRlnRelayPeer:
+        peer = self._build_peer(node_id)
+        self.peers.append(peer)
+        self._peer_by_id[node_id] = peer
+        return peer
+
+    def peer_named(self, node_id: NodeId) -> Optional[WakuRlnRelayPeer]:
+        """The live peer object for ``node_id``, or None when this
+        worker holds only its ghost (build-per-worker)."""
+        return self._peer_by_id.get(node_id)
+
+    def declare_ghost(self, node_id: NodeId) -> None:
+        """Declare a roster entry that lives on another worker.
+
+        The ghost's first identity draw, Ethereum account and overlay
+        endpoint are reproduced exactly as its owner creates them —
+        per-entity RNG streams make the commitment bit-identical — so
+        this worker's chain replica and topology agree with every
+        other worker's without holding the peer's protocol stack.
+        """
+        keypair = MembershipKeyPair.generate(
+            self.simulator.entity_rng(node_id)
+        )
+        self._ghost_commitments[node_id] = keypair.commitment
+        self.chain.create_account(
+            f"eoa:{node_id}", self.config.stake_wei * 2
+        )
+        self.network.attach_remote(node_id)
+
     def _build_peer(self, node_id: NodeId) -> WakuRlnRelayPeer:
-        cache = self.verification_cache
-        if cache is None and self.parallel and (
-            self.config.verification_cache_size > 0
-        ):
-            cache = VerificationCache(self.config.verification_cache_size)
+        # Parallel peers draw identity material from their own entity
+        # stream: a worker that never builds this peer can still
+        # reproduce its commitment (declare_ghost) bit-for-bit.
+        rng = (
+            self.simulator.entity_rng(node_id)
+            if self.parallel
+            else self.simulator.rng
+        )
         return WakuRlnRelayPeer(
             node_id=node_id,
             network=self.network,
@@ -228,8 +298,8 @@ class WakuRlnRelayNetwork:
             config=self.config,
             proving_key=self.proving_key,
             verifying_key=self.verifying_key,
-            rng=self.simulator.rng,
-            verification_cache=cache,
+            rng=rng,
+            verification_cache=self.verification_cache,
             membership_store=self.membership_store,
         )
 
@@ -246,6 +316,8 @@ class WakuRlnRelayNetwork:
         register: bool = True,
         start: bool = True,
         bootstrap: str = "replica",
+        node_id: Optional[NodeId] = None,
+        neighbors: Optional[List[NodeId]] = None,
     ) -> WakuRlnRelayPeer:
         """Join a fresh peer mid-simulation (churn model).
 
@@ -257,18 +329,38 @@ class WakuRlnRelayNetwork:
         safe mid-run — and only replays events newer than that;
         ``bootstrap="replay"`` keeps the original behaviour of syncing
         the full contract event log from genesis.
+
+        ``node_id``/``neighbors`` let a precomputed churn plan pin the
+        identity and dial list; parallel mode requires both (the plan
+        computes them from shared per-entity streams so every worker
+        agrees) and forces ``bootstrap="replay"`` — "most-synced
+        incumbent" is a partition-dependent choice, the full event log
+        is not.
         """
         if bootstrap not in ("replica", "replay"):
             raise NetworkError(
                 f"unknown bootstrap mode {bootstrap!r}; "
                 "use 'replica' or 'replay'"
             )
-        peer = self._build_peer(f"peer-{self._next_peer_index}")
-        self._next_peer_index += 1
-        rng = self.simulator.rng
-        alive = [p.node_id for p in self.peers]
-        fanout = self._degree if self._degree is not None else len(alive)
-        for neighbor in rng.sample(alive, min(fanout, len(alive))):
+        if self.parallel:
+            if node_id is None or neighbors is None:
+                raise NetworkError(
+                    "parallel churn joins need a planned node_id and "
+                    "dial list (see the scenario runner's churn plan)"
+                )
+            bootstrap = "replay"
+        if node_id is None:
+            node_id = f"peer-{self._next_peer_index}"
+            self._next_peer_index += 1
+        peer = self._build_peer(node_id)
+        if neighbors is None:
+            rng = self.simulator.rng
+            alive = [p.node_id for p in self.peers]
+            fanout = (
+                self._degree if self._degree is not None else len(alive)
+            )
+            neighbors = rng.sample(alive, min(fanout, len(alive)))
+        for neighbor in neighbors:
             self.network.connect(peer.node_id, neighbor)
         if bootstrap == "replica" and self.peers:
             reference = max(
@@ -276,6 +368,7 @@ class WakuRlnRelayNetwork:
             )
             peer.adopt_sync_state(reference)
         self.peers.append(peer)
+        self._peer_by_id[peer.node_id] = peer
         if register:
             peer.register()
         if start:
@@ -294,6 +387,7 @@ class WakuRlnRelayNetwork:
         if index is None:
             raise NetworkError(f"no live peer named {node_id!r} to remove")
         peer = self.peers.pop(index)
+        self._peer_by_id.pop(node_id, None)
         peer.stop()
         self.network.detach(node_id)
         self.departed.append(peer)
@@ -302,15 +396,40 @@ class WakuRlnRelayNetwork:
     # -- deployment steps -------------------------------------------------------
 
     def register_all(self) -> None:
-        """Register every peer and settle the transactions immediately.
+        """Register every roster entry and settle the transactions.
 
         One reference peer replays the event log; the rest adopt its
         replica (group sync is deterministic, so the outcome is
         identical), turning bootstrap from O(peers^2) tree insertions
         into one sync plus O(peers) state copies.
+
+        Ghost entries (roster peers owned by another worker) submit
+        the very transaction their owner submits — same sender, same
+        commitment, same position in the roster order — so every
+        worker's chain converges on an identical pre-drive state.
         """
+        now = self.simulator.now
+        for node_id in self.roster:
+            peer = self._peer_by_id.get(node_id)
+            if peer is not None:
+                peer.register()
+                continue
+            commitment = self._ghost_commitments[node_id]
+            self.chain.transact(
+                f"eoa:{node_id}",
+                CONTRACT_ADDRESS,
+                "register",
+                int(commitment.element),
+                value=self.config.stake_wei,
+                calldata_bytes=4 + 32,
+                submitted_at=now,
+            )
+        roster = set(self.roster)
         for peer in self.peers:
-            peer.register()
+            # Peers added after construction (pre-drive add_peer) sit
+            # behind the roster in self.peers — same order as before.
+            if peer.node_id not in roster:
+                peer.register()
         self.chain.mine_block(timestamp=self.simulator.now)
         if not self.peers:
             return
@@ -337,7 +456,13 @@ class WakuRlnRelayNetwork:
     def start(self, mine_blocks: bool = True) -> None:
         """Start relays, periodic peer tasks and (optionally) the miner."""
         for peer in self.peers:
-            peer.start()
+            # Per-entity build context: the periodic tasks a peer's
+            # start() schedules must draw (origin, seq) keys from the
+            # peer's own counter, or a worker that built fewer peers
+            # would hand out different keys (no-op off the windowed
+            # kernel).
+            with self.simulator.build_context(peer.node_id):
+                peer.start()
         if mine_blocks and self._miner_cancel is None:
             self._miner_cancel = self.simulator.schedule_periodic(
                 self.chain.block_interval,

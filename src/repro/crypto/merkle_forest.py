@@ -49,7 +49,7 @@ the sub-root plus a top path from the sub-root to the root.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..errors import MerkleError
 from .field import Fr
@@ -486,6 +486,15 @@ class CanonicalShardedTree:
     def materialized_subtrees(self) -> int:
         """Sub-trees whose interiors are held in memory (stat)."""
         return len(self._materialized)
+
+    def materialized_subtree_indices(self) -> FrozenSet[int]:
+        """*Which* sub-tree interiors are built (not just how many).
+
+        Index sets from independently event-sourced stores — parallel
+        workers each holding a roster slice — union to the single-store
+        set, so equivalence checks compare these rather than the
+        per-partition counts."""
+        return frozenset(self._materialized)
 
     @property
     def genesis_version(self) -> int:

@@ -97,3 +97,15 @@ class SyncError(ReproError):
 
 class ScenarioError(ReproError):
     """Invalid scenario specification or unknown scenario name."""
+
+
+class ScenarioSpecError(ScenarioError):
+    """A scenario spec field is invalid for the requested execution mode.
+
+    Carries the full list of offending fields so a CLI can show every
+    problem at once instead of failing on the first.
+    """
+
+    def __init__(self, message: str, problems=()):
+        super().__init__(message)
+        self.problems = tuple(problems)

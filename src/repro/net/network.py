@@ -52,6 +52,12 @@ class Network:
     def __post_init__(self) -> None:
         self._nodes: Dict[NodeId, NetworkNode] = {}
         self._adjacency: Dict[NodeId, Set[NodeId]] = {}
+        #: Remote endpoint -> ``(active_from, active_until)`` presence
+        #: window. Membership tests against remotes must answer by the
+        #: simulated clock (the churn plan's times), not by local node
+        #: objects — otherwise "is this peer alive?" depends on which
+        #: worker asks.
+        self._remote_presence: Dict[NodeId, tuple] = {}
         self._link_total = 0
         #: receiver -> "deliver:<receiver>"; building the label string
         #: once per node instead of once per packet keeps it off the
@@ -68,6 +74,9 @@ class Network:
         if self._isolated:
             self.simulator.register_port("net.deliver", self._deliver_port)
             self.simulator.register_port("net.link_up", self._link_up_port)
+            self.simulator.register_port(
+                "net.link_down", self._link_down_port
+            )
 
     def _deliver_port(self, payload: Any) -> None:
         sender, receiver, packet = payload
@@ -85,6 +94,18 @@ class Network:
             return
         self._adjacency[node].add(peer)
 
+    def _link_down_port(self, payload: Any) -> None:
+        """The remote endpoint of a runtime detach loses its link (see
+        :meth:`detach`'s window-isolated branch). Link accounting
+        happened on the victim's side; here only the survivor's
+        adjacency and hook run."""
+        victim, neighbor = payload
+        if neighbor not in self._adjacency:
+            return
+        if victim in self._adjacency[neighbor]:
+            self._adjacency[neighbor].discard(victim)
+            self._notify_link_down(neighbor, victim)
+
     # -- membership ----------------------------------------------------------
 
     def attach(self, node: NetworkNode) -> None:
@@ -93,10 +114,68 @@ class Network:
         self._nodes[node.node_id] = node
         self._adjacency.setdefault(node.node_id, set())
 
+    def attach_remote(self, node_id: NodeId) -> None:
+        """Declare a node that lives on another worker.
+
+        Build-per-worker networks hold real node objects only for the
+        shards they own; every other peer of the roster is attached as
+        a *remote endpoint* — an adjacency row with no node behind it —
+        so build-time wiring (mesh links, topic maps) and runtime sends
+        resolve normally, while actual deliveries to it are exported as
+        barrier packets to the worker that owns it.
+        """
+        if node_id in self._nodes:
+            raise NetworkError(f"node {node_id!r} already attached")
+        self._adjacency.setdefault(node_id, set())
+        self._remote_presence.setdefault(node_id, (0.0, float("inf")))
+
+    def set_remote_presence(
+        self,
+        node_id: NodeId,
+        active_from: float,
+        active_until: float = float("inf"),
+    ) -> None:
+        """Bound a remote endpoint's liveness window (churn plan).
+
+        A churn-plan joiner owned elsewhere exists here from its join
+        time; a planned victim stops existing at its leave time. The
+        window makes :meth:`__contains__` agree with the owner's live
+        attach/detach to the tick: plan events are scheduled under
+        ``churn-*`` build contexts, whose origins sort before every
+        peer origin at equal timestamps, so the half-open
+        ``[from, until)`` test reproduces the owner's execution order
+        exactly.
+        """
+        if node_id not in self._remote_presence:
+            raise NetworkError(f"{node_id!r} is not a remote endpoint")
+        self._remote_presence[node_id] = (active_from, active_until)
+
     def detach(self, node_id: NodeId) -> None:
         """Remove a node and all of its links (crash / churn model)."""
         if node_id not in self._nodes:
             raise NetworkError(f"unknown node {node_id!r}")
+        if self._isolated and self.simulator.executing:
+            # Synchronously mutating every neighbour's adjacency would
+            # be a hidden cross-shard write under window isolation (a
+            # neighbour owned by another worker would never see it, or
+            # see it at a partition-dependent time). The victim's half
+            # — its own handler's doing, replayed identically on every
+            # partition — commits at once; each survivor learns of the
+            # loss through a keyed ``net.link_down`` port event one
+            # latency draw later, owned-or-foreign alike.
+            del self._nodes[node_id]
+            rng = self.simulator.entity_rng(node_id)
+            for neighbor in sorted(self._adjacency.pop(node_id, set())):
+                self._link_total -= 1
+                delay = self.latency.sample_latency(rng)
+                self.simulator.schedule_port(
+                    delay,
+                    "net.link_down",
+                    (node_id, neighbor),
+                    label=f"link_down:{neighbor}",
+                    shard=neighbor,
+                )
+            return
         del self._nodes[node_id]
         for neighbor in self._adjacency.pop(node_id, set()):
             self._adjacency[neighbor].discard(node_id)
@@ -112,7 +191,20 @@ class Network:
         return list(self._nodes)
 
     def __contains__(self, node_id: NodeId) -> bool:
-        return node_id in self._nodes
+        """Is this peer alive right now — anywhere, not just locally?
+
+        Live local nodes count always; remote endpoints (peers owned
+        by another worker) count while the simulated clock is inside
+        their presence window. Runtime decisions like PX dialing go
+        through this test, so it must not depend on which worker
+        evaluates it.
+        """
+        if node_id in self._nodes:
+            return True
+        window = self._remote_presence.get(node_id)
+        if window is None:
+            return False
+        return window[0] <= self.simulator.now < window[1]
 
     # -- links -----------------------------------------------------------------
 
@@ -120,7 +212,9 @@ class Network:
         if a == b:
             raise NetworkError("cannot link a node to itself")
         for node_id in (a, b):
-            if node_id not in self._nodes:
+            # Remote endpoints (attach_remote) have an adjacency row
+            # but no node object; build-time wiring links them freely.
+            if node_id not in self._nodes and node_id not in self._adjacency:
                 raise NetworkError(f"unknown node {node_id!r}")
         if self._isolated and self.simulator.executing:
             # A runtime dial (e.g. gossipsub Peer Exchange) under

@@ -14,7 +14,7 @@ already applied the ``k+1``-th membership event.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
 
 from ..constants import DEFAULT_MERKLE_DEPTH
 from ..crypto.field import Fr
@@ -262,6 +262,19 @@ class MembershipStore:
         return {
             domain: tree.state_digest()
             for domain, tree in sorted(self._canonicals.items())
+        }
+
+    def materialized_indices(self) -> Dict[str, FrozenSet[int]]:
+        """Per-domain indices of the materialized sub-tree interiors.
+
+        Empty for flat canonical trees. Unlike the ``stats()`` counts
+        (per-store artifacts under parallel partitioning), the union of
+        these sets across workers equals the single-store set — the
+        partition-invariant form of the laziness measurement."""
+        return {
+            domain: tree.materialized_subtree_indices()
+            for domain, tree in sorted(self._canonicals.items())
+            if hasattr(tree, "materialized_subtree_indices")
         }
 
     def stats(self) -> Dict[str, int]:

@@ -125,6 +125,118 @@ class VerificationCache:
         return self.hits / total if total else 0.0
 
 
+#: Merge rank of a memoised pure-check state: a barrier merge keeps the
+#: most advanced outcome for a key. ``None`` (parsed, nothing checked)
+#: < ``BINDING_OK`` (binding checked, proof pending) < any terminal
+#: outcome.
+_STATE_RANK = {
+    None: 0,
+    PureCheck.BINDING_OK: 1,
+    PureCheck.BAD_EXTERNAL_NULLIFIER: 2,
+    PureCheck.BAD_SHARE_BINDING: 2,
+    PureCheck.VALID: 2,
+    PureCheck.INVALID_PROOF: 2,
+}
+
+#: One barrier-memo write: ``(write_key, cache_key, entry)`` where
+#: ``write_key`` is a partition-invariant ``(time, origin, seq)`` tuple.
+MemoOp = Tuple[Tuple, object, SignalEntry]
+
+
+class BarrierMemoCache:
+    """A :class:`VerificationCache` for the window-isolated kernel.
+
+    Sharing a plain LRU between routers on different shards would leak
+    intra-window state across the isolation boundary: whether router B
+    gets a hit would depend on whether router A ran in the same process
+    earlier in the same window — i.e. on the shard/worker layout. This
+    variant restores sharing without the leak:
+
+    * **Reads see only the committed snapshot** — the state as of the
+      last barrier, identical on every worker. A hit hands back a
+      *copy*, so the verifier's in-place state advancement never
+      mutates the snapshot mid-window.
+    * **Writes buffer as pending ops** keyed by the simulator's
+      partition-invariant ``(time, origin, seq)`` counter (the same
+      one the chain replica orders its ops with). :meth:`drain`
+      snapshots them at the barrier; :meth:`commit` applies a merged
+      batch in write-key order with most-progress-wins conflict
+      resolution, so every worker's committed snapshot evolves
+      identically whatever subset of the writes it produced itself.
+    * **Eviction is FIFO in commit order** (no move-to-end on reads):
+      read recency is layout-dependent under isolation, insertion
+      order after a sorted merge is not.
+
+    The cost of soundness is one window of staleness — a signal first
+    verified in window N saves work from window N+1 on.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_VERIFICATION_CACHE_SIZE,
+        key_source: Optional[Callable[[], Tuple]] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("cache needs room for at least one entry")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._committed: "OrderedDict[object, SignalEntry]" = OrderedDict()
+        self._pending: list = []
+        self._key_source = key_source if key_source is not None else tuple
+
+    def __len__(self) -> int:
+        return len(self._committed)
+
+    def get(self, key: object) -> Optional[SignalEntry]:
+        committed = self._committed.get(key)
+        if committed is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        entry = SignalEntry(committed.signal, committed.state)
+        # Re-record the copy as a pending write: if the verifier
+        # advances it this window (BINDING_OK -> VALID), the progress
+        # ships at the barrier like any first-time write.
+        self._pending.append((self._key_source(), key, entry))
+        return entry
+
+    def put(self, key: object, entry: SignalEntry) -> None:
+        self._pending.append((self._key_source(), key, entry))
+
+    def drain(self) -> "list[MemoOp]":
+        """Snapshot and clear this window's writes (barrier exchange).
+
+        Entries are copied at drain time so the delta captures any
+        in-place advancement the verifier did after the ``put``, and
+        later mutation of a still-referenced entry cannot reach into
+        a committed snapshot.
+        """
+        pending, self._pending = self._pending, []
+        return [
+            (wkey, key, SignalEntry(entry.signal, entry.state))
+            for wkey, key, entry in pending
+        ]
+
+    def commit(self, ops: "list[MemoOp]") -> None:
+        """Apply one barrier's merged write batch to the snapshot."""
+        committed = self._committed
+        for _wkey, key, entry in sorted(ops, key=lambda op: op[0]):
+            current = committed.get(key)
+            if current is None:
+                committed[key] = SignalEntry(entry.signal, entry.state)
+            elif _STATE_RANK[entry.state] > _STATE_RANK[current.state]:
+                current.signal = entry.signal
+                current.state = entry.state
+        while len(committed) > self.max_entries:
+            committed.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
 def _pure_key(signal: RlnSignal) -> Tuple:
     """Cache key for a signal reached without its wire encoding."""
     return (signal.epoch, signal.message, *signal.public_inputs(), signal.proof)

@@ -15,7 +15,7 @@ from typing import Mapping, Optional, Tuple
 
 from ..constants import ETH_BLOCK_INTERVAL_SECONDS
 from ..core.config import ProtocolConfig
-from ..errors import ScenarioError
+from ..errors import ScenarioError, ScenarioSpecError
 from ..waku.message import DEFAULT_PUBSUB_TOPIC
 
 
@@ -416,29 +416,46 @@ class ScenarioSpec:
                 f"unknown ProtocolConfig overrides: {sorted(unknown)}"
             )
         if self.parallel_workers < 0:
-            raise ScenarioError("parallel_workers must be >= 0")
+            raise ScenarioSpecError(
+                "parallel_workers must be >= 0",
+                problems=("parallel_workers",),
+            )
+        if (
+            self.parallel_window is not None
+            and self.parallel_window <= 0
+        ):
+            raise ScenarioSpecError(
+                f"parallel_window must be positive, got "
+                f"{self.parallel_window}; drop the override to use the "
+                f"latency model's minimum latency, or pick a value no "
+                f"larger than it (the protocol's delivery-delay bound "
+                f"is max_network_delay="
+                f"{ProtocolConfig().max_network_delay}s)",
+                problems=("parallel_window",),
+            )
         if self.parallel_workers:
-            # Window isolation covers message passing and chain ops;
-            # churn rewires topology and faults mutate services from a
-            # global driver — neither has a barrier-safe form yet.
-            if self.churn.active:
-                raise ScenarioError(
-                    "parallel mode does not support churn yet"
+            problems = self.parallel_rejections()
+            if problems:
+                raise ScenarioSpecError(
+                    "scenario cannot run in parallel mode: "
+                    + "; ".join(problems),
+                    problems=problems,
                 )
-            if self.faults:
-                raise ScenarioError(
-                    "parallel mode does not support fault injection yet"
-                )
-            if self.compare_baseline:
-                raise ScenarioError(
-                    "parallel mode does not support compare_baseline; "
-                    "run the baseline comparison in the default mode"
-                )
-            if (
-                self.parallel_window is not None
-                and self.parallel_window <= 0
-            ):
-                raise ScenarioError("parallel_window must be positive")
+
+    def parallel_rejections(self) -> Tuple[str, ...]:
+        """Every feature of this spec that parallel mode cannot run.
+
+        Churn, fault injection and baseline comparison all have
+        barrier-safe forms now (churn plans precomputed on the
+        partition-invariant event grid, faults pinned to shard 0,
+        baselines run on the coordinator's own replica), so this is
+        empty for every built-in scenario — the ``--bench-quick`` smoke
+        pins that. The method stays as the single aggregation point:
+        a future incompatible feature gets reported here alongside any
+        others in one :class:`~repro.errors.ScenarioSpecError` instead
+        of first-failure-wins.
+        """
+        return ()
 
     @property
     def topic_names(self) -> Tuple[str, ...]:

@@ -42,6 +42,7 @@ N-worker run.
 from __future__ import annotations
 
 import random
+from contextlib import contextmanager
 from heapq import heappop, heappush
 from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
@@ -157,6 +158,24 @@ class WindowedStackSimulator(Simulator):
             self._streams[skey] = stream
         return stream
 
+    def ephemeral_rng(self, key: object) -> random.Random:
+        """Seeded exactly like :meth:`entity_rng` but not retained.
+
+        For one-shot roster-wide draws (one coin per peer in the
+        roster): every worker walks the whole roster, and caching a
+        Mersenne state (~2.5 KiB) per entity would put an O(all peers)
+        term back into per-worker RSS that build-per-worker exists to
+        remove. Draw values are bit-identical to ``entity_rng`` — same
+        seed derivation — provided all draws from the key finish
+        before anyone requests it through ``entity_rng`` (a cached
+        stream, if one exists, is returned so mixed use stays sound in
+        that direction)."""
+        skey = str(key)
+        stream = self._streams.get(skey)
+        if stream is not None:
+            return stream
+        return random.Random(_stable_hash(skey, self._salt))
+
     def stream(self, key: object) -> random.Random:
         return self.entity_rng(key)
 
@@ -182,6 +201,27 @@ class WindowedStackSimulator(Simulator):
         order never collide and both are partition-invariant."""
         origin = self._context
         return (self.now, origin, self._next_seq(origin))
+
+    @contextmanager
+    def build_context(self, key: object):
+        """Attribute build-phase scheduling to one entity's origin.
+
+        Build-per-worker only works if build-time keys are
+        partition-invariant: a worker that builds 3 of 8 shards must
+        hand each entity the exact ``(origin, seq)`` keys it would get
+        in a full build. Wrapping an entity's construction in its own
+        context pins its build-time schedules and
+        :meth:`consume_order_key` draws to a per-entity counter, so
+        skipping the *other* entities' builds cannot shift them. Only
+        meaningful outside execution (during a window the executing
+        event's context governs); nesting restores the outer key.
+        """
+        previous = self._context
+        self._context = str(key)
+        try:
+            yield
+        finally:
+            self._context = previous
 
     # -- ports ---------------------------------------------------------------------
 

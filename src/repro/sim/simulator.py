@@ -20,6 +20,7 @@ from __future__ import annotations
 import gc
 import itertools
 import random
+from contextlib import contextmanager
 from heapq import heapify, heappop, heappush
 from typing import Callable, Optional
 
@@ -195,6 +196,18 @@ class Simulator:
         caller is an event handler rather than build-phase wiring. The
         base kernel never needs the distinction."""
         return False
+
+    @contextmanager
+    def build_context(self, key: object):
+        """Attribute build-phase work to entity ``key``.
+
+        A no-op here: only the window-isolated parallel kernel keys
+        build-time scheduling to per-entity origins (so a worker that
+        builds a subset of the entities reproduces their exact event
+        keys). Builders wrap each entity's construction in this
+        unconditionally and the default kernels ignore it.
+        """
+        yield
 
     # -- scheduling ------------------------------------------------------------
 

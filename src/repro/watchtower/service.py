@@ -43,6 +43,26 @@ from ..waku.relay import WakuRelayNode
 from .store import WatchtowerStore
 
 
+def watchtower_dial_plan(net, service_id: str, degree: int) -> List[str]:
+    """The neighbours a watchtower dials at (re)start.
+
+    Parallel mode computes the list from the service's own entity
+    stream over the full roster: every worker derives the identical
+    plan, so the workers that own the dialed peers can mirror the
+    build-time link (build-per-worker networks hold no peer objects
+    for foreign shards, and a one-sided link would drop every packet).
+    Serial mode keeps the historical draw from the shared stream over
+    the live peer list, bit for bit.
+    """
+    if getattr(net, "parallel", False):
+        rng = net.simulator.entity_rng(f"wt-dial:{service_id}")
+        alive = list(net.roster)
+    else:
+        rng = net.simulator.rng
+        alive = [p.node_id for p in net.peers]
+    return rng.sample(alive, min(degree, len(alive)))
+
+
 class WatchtowerService:
     """One competing watcher in the delegated-enforcement market."""
 
@@ -88,6 +108,12 @@ class WatchtowerService:
         self._running = False
 
         self._stop_tasks: List[Callable[[], None]] = []
+        #: Optional ``(neighbor_id, now) -> bool`` gate on dial plans.
+        #: Parallel runs install a churn-plan filter: the static plan
+        #: may name peers that left before a *restart* re-dials, and
+        #: connecting to a departed node is layout-dependent (raises
+        #: where it was owned, half-links where it was remote).
+        self.dial_filter: Optional[Callable[[str, float], bool]] = None
         self.relay: Optional[WakuRelayNode] = None
         self.group: Optional[LocalGroup] = None
         self._validators: Dict[str, RlnMessageValidator] = {}
@@ -151,10 +177,15 @@ class WatchtowerService:
             )
 
     def _dial(self) -> None:
-        """Connect into the live overlay (``degree`` random peers)."""
-        rng = self.net.simulator.rng
-        alive = [p.node_id for p in self.net.peers]
-        for neighbor in rng.sample(alive, min(self.degree, len(alive))):
+        """Connect into the overlay (``degree`` planned peers)."""
+        now = self.net.network.simulator.now
+        for neighbor in watchtower_dial_plan(
+            self.net, self.service_id, self.degree
+        ):
+            if self.dial_filter is not None and not self.dial_filter(
+                neighbor, now
+            ):
+                continue
             self.net.network.connect(self.service_id, neighbor)
 
     # -- lifecycle ------------------------------------------------------------------
@@ -427,17 +458,25 @@ class WatchtowerService:
         """Enroll ``peer`` as a delegating light client: it pays the
         one-off fee, stops claiming slashes itself, and earns a share
         of every reward this service wins."""
+        self.delegate_id(peer.node_id, peer.account)
+        peer.disable_slash_reporting()
+
+    def delegate_id(self, node_id: str, account: str) -> None:
+        """The chain/store half of a delegation — everything except
+        flipping the delegator's own reporting switch. Build-per-worker
+        runners call this for delegators that live on other workers
+        (the fee transfer and ledger must land on every replica; the
+        switch flip is the owner's job)."""
         now = self.net.simulator.now
         self.chain.transfer_value(
-            peer.account, self.account, self.delegation_fee_wei
+            account, self.account, self.delegation_fee_wei
         )
         self.store.add_delegation(
-            peer.node_id, peer.account, self.delegation_fee_wei, now
+            node_id, account, self.delegation_fee_wei, now
         )
         self.store.add_ledger(
-            "fee", peer.node_id, self.delegation_fee_wei, now
+            "fee", node_id, self.delegation_fee_wei, now
         )
-        peer.disable_slash_reporting()
 
     # -- reporting -------------------------------------------------------------------------
 

@@ -110,29 +110,46 @@ def test_excess_workers_clamp_to_shard_count():
     assert result.fingerprint() == reference.fingerprint()
 
 
-def test_parallel_spec_rejects_churn_faults_and_baseline():
+def test_parallel_spec_accepts_churn_faults_and_baseline():
+    """Feature parity: churn, fault injection and baseline comparison
+    all construct cleanly in parallel mode now (churn plans are
+    precomputed on the shared event grid, faults pin to shard 0,
+    baselines run on the coordinator). Only genuinely malformed
+    parallel parameters still raise — as the typed spec error."""
     base = dict(
         name="x", description="x", peers=8, parallel_workers=2
     )
+    from repro.errors import ScenarioSpecError
     from repro.scenarios.spec import ChurnModel, FaultPlan, WatchtowerSpec
 
-    with pytest.raises(ScenarioError, match="churn"):
-        ScenarioSpec(
-            **base,
-            churn=ChurnModel(join_interval=1.0, max_joins=2),
-        )
-    with pytest.raises(ScenarioError, match="fault"):
-        ScenarioSpec(
-            **base,
-            watchtowers=WatchtowerSpec(count=1),
-            faults=(FaultPlan(target="watchtower-0", crash_at=1.0),),
-        )
-    with pytest.raises(ScenarioError, match="baseline"):
-        ScenarioSpec(**base, compare_baseline=True)
+    ScenarioSpec(
+        **base,
+        churn=ChurnModel(join_interval=1.0, max_joins=2),
+    )
+    ScenarioSpec(
+        **base,
+        watchtowers=WatchtowerSpec(count=1),
+        faults=(FaultPlan(target="watchtower-0", crash_at=1.0),),
+    )
+    ScenarioSpec(**base, compare_baseline=True)
     with pytest.raises(ScenarioError, match="parallel_window"):
         ScenarioSpec(**base, parallel_window=0.0)
     with pytest.raises(ScenarioError, match="parallel_workers"):
         ScenarioSpec(name="x", description="x", parallel_workers=-1)
+    # The typed error carries the offending field for tooling.
+    with pytest.raises(ScenarioSpecError) as excinfo:
+        ScenarioSpec(**base, parallel_window=0.0)
+    assert "parallel_window" in excinfo.value.problems
+
+
+def test_every_builtin_scenario_accepted_in_parallel_mode():
+    """The rejection list is empty for all built-ins — the feature-
+    parity bar of this tentpole. ``parallel_rejections`` stays the
+    single aggregation point for future incompatibilities."""
+    from repro.scenarios.registry import all_scenarios
+
+    for spec in all_scenarios():
+        assert spec.parallel_rejections() == (), spec.name
 
 
 def test_window_wider_than_minimum_latency_rejected():
@@ -146,10 +163,79 @@ def test_window_wider_than_minimum_latency_rejected():
         run_scenario(wide)
 
 
-def test_parallel_results_skip_partition_dependent_extras():
-    """Shared verification-cache hit rates and membership-store
-    sharing counters depend on which worker saw a message first; the
-    parallel result must not report them."""
+def test_parallel_results_report_barrier_memo_hit_rate():
+    """The barrier-synced memo cache makes verification reuse a run
+    fact again (committed snapshots evolve identically on every
+    layout), so parallel results report the hit rate — and it must be
+    equal across cells. Membership-store sharing counters remain
+    per-partition artifacts and stay out."""
+    reference = _reference("delegated-enforcement")
     result = _cell("delegated-enforcement", 2, 2)
-    assert "verification_cache_hit_rate" not in result.extras
+    assert "verification_cache_hit_rate" in result.extras
+    assert (
+        result.extras["verification_cache_hit_rate"]
+        == reference.extras["verification_cache_hit_rate"]
+    )
     assert "membership_events" not in result.extras
+
+
+def test_churn_cell_matches_serial_reference():
+    """Churn was the last excluded runtime process: joins and leaves
+    now execute from a plan every worker derives identically. The
+    scenario must actually churn (joined/left non-zero) and every
+    forked cell must agree with the (1, 1) reference bit-for-bit."""
+    spec = scenario("high-churn").scaled(peers=PEERS, duration=20.0)
+    reference = run_scenario(spec, shards=1, parallel_workers=1)
+    assert reference.joined > 0, "plan must produce joins"
+    assert reference.left > 0, "plan must produce leaves"
+    for shards, workers in [(2, 2), (4, 4)]:
+        result = run_scenario(spec, shards=shards, parallel_workers=workers)
+        assert result.fingerprint() == reference.fingerprint()
+        assert result.joined == reference.joined
+        assert result.left == reference.left
+        assert result.peers_final == reference.peers_final
+
+
+def test_fault_cell_matches_serial_reference():
+    """Delegated-enforcement crash/recovery under partitioning: the
+    fault driver pins the victim service to shard 0 and keys its
+    events on the partition-invariant grid, so the recovery accounting
+    must be a run fact."""
+    spec = scenario("delegated-enforcement-crash").scaled(
+        peers=PEERS, duration=30.0
+    )
+    reference = run_scenario(spec, shards=1, parallel_workers=1)
+    assert reference.recovery_time > 0, "crash must actually recover"
+    for shards, workers in [(2, 2), (4, 4)]:
+        result = run_scenario(spec, shards=shards, parallel_workers=workers)
+        assert result.fingerprint() == reference.fingerprint()
+        assert result.recovery_time == reference.recovery_time
+        assert result.missed_slashes == reference.missed_slashes
+
+
+def test_million_id_city_tiny_scale_across_workers():
+    """The flagship scenario's whole feature set — sharded membership
+    registry, pre-registered genesis population, eager nullifier GC,
+    streaming metrics — through the windowed path on 1, 2 and 4
+    workers. Fingerprints and the registry/GC measurements must be
+    bit-identical: subtree materialization merges as an index-set
+    union, nullifier GC as per-peer sums."""
+    spec = scenario("million-id-city").scaled(peers=48, duration=6.0)
+    results = {
+        workers: run_scenario(spec, parallel_workers=workers)
+        for workers in (1, 2, 4)
+    }
+    reference = results[1]
+    assert reference.extras["membership_subtrees_materialized"] > 0
+    assert "nullifier_entries_pruned" in reference.extras
+    for workers in (2, 4):
+        result = results[workers]
+        assert result.fingerprint() == reference.fingerprint()
+        assert (
+            result.extras["membership_subtrees_materialized"]
+            == reference.extras["membership_subtrees_materialized"]
+        )
+        assert (
+            result.extras["nullifier_entries_pruned"]
+            == reference.extras["nullifier_entries_pruned"]
+        )
